@@ -1,0 +1,9 @@
+"""Reporting helper shared by the table benches."""
+
+from __future__ import annotations
+
+
+def report(table) -> None:
+    """Print an experiment table through pytest's captured stdout."""
+    print()
+    print(table.render())

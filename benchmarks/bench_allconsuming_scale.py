@@ -1,0 +1,71 @@
+"""Published-scale feasibility: the §4.1 community at full size.
+
+The paper's crawl: ~9,100 users, 9,953 books, Amazon's >20,000-topic
+taxonomy.  These benches generate that community at full scale and time
+the pipeline's stages on it, demonstrating that the reproduction handles
+the published scale on a laptop (the scalability claim of §2 made
+concrete).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.neighborhood import NeighborhoodFormation
+from repro.core.profiles import TaxonomyProfileBuilder
+from repro.core.recommender import ProfileStore, SemanticWebRecommender
+from repro.datasets.allconsuming import (
+    ALLCONSUMING_AGENTS,
+    ALLCONSUMING_BOOKS,
+    generate_allconsuming,
+)
+from repro.trust.appleseed import Appleseed
+from repro.trust.graph import TrustGraph
+
+
+@pytest.fixture(scope="module")
+def full_scale():
+    community = generate_allconsuming(scale=1.0, seed=42)
+    assert len(community.dataset.agents) == ALLCONSUMING_AGENTS
+    assert len(community.dataset.products) == ALLCONSUMING_BOOKS
+    assert len(community.taxonomy) == 20_000
+    return community
+
+
+@pytest.fixture(scope="module")
+def full_graph(full_scale):
+    return TrustGraph.from_dataset(full_scale.dataset)
+
+
+def test_bench_generation_full_scale(benchmark):
+    community = benchmark.pedantic(
+        lambda: generate_allconsuming(scale=1.0, seed=7), rounds=1, iterations=1
+    )
+    assert len(community.dataset.agents) == ALLCONSUMING_AGENTS
+
+
+def test_bench_appleseed_full_scale(benchmark, full_scale, full_graph):
+    source = sorted(full_scale.dataset.agents)[0]
+    result = benchmark.pedantic(
+        lambda: Appleseed(max_depth=3).compute(full_graph, source),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.converged
+    assert len(result.ranks) > 10
+
+
+def test_bench_recommendation_full_scale(benchmark, full_scale, full_graph):
+    dataset = full_scale.dataset
+    store = ProfileStore(dataset, TaxonomyProfileBuilder(full_scale.taxonomy))
+    recommender = SemanticWebRecommender(
+        dataset=dataset,
+        graph=full_graph,
+        profiles=store,
+        formation=NeighborhoodFormation(metric=Appleseed(max_depth=3), max_peers=50),
+    )
+    agent = sorted(dataset.agents)[0]
+    recs = benchmark.pedantic(
+        lambda: recommender.recommend(agent, limit=10), rounds=1, iterations=1
+    )
+    assert len(recs) == 10

@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the library's hot primitives.
+
+Not tied to a paper table; these quantify the cost of each pipeline
+stage in isolation (Appleseed run, Advogato run, profile construction,
+similarity computation, end-to-end recommendation, N-Triples round-trip)
+so regressions in any stage are visible independently of the experiment
+suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiles import TaxonomyProfileBuilder
+from repro.core.recommender import ProfileStore, SemanticWebRecommender
+from repro.core.similarity import cosine, pearson
+from repro.semweb.foaf import publish_agent
+from repro.semweb.serializer import parse_ntriples, serialize_ntriples
+from repro.trust.advogato import Advogato
+from repro.trust.appleseed import Appleseed
+from repro.trust.graph import TrustGraph
+
+
+@pytest.fixture(scope="module")
+def graph(community):
+    return TrustGraph.from_dataset(community.dataset)
+
+
+@pytest.fixture(scope="module")
+def source(community):
+    return sorted(community.dataset.agents)[0]
+
+
+@pytest.fixture(scope="module")
+def store(community):
+    store = ProfileStore(
+        community.dataset, TaxonomyProfileBuilder(community.taxonomy)
+    )
+    for agent in community.dataset.agents:
+        store.profile(agent)  # warm every profile once
+    return store
+
+
+def test_bench_appleseed(benchmark, graph, source):
+    result = benchmark(lambda: Appleseed().compute(graph, source))
+    assert result.converged
+
+
+def test_bench_advogato(benchmark, graph, source):
+    result = benchmark(lambda: Advogato(target_size=50).compute(graph, source))
+    assert result.accepts(source)
+
+
+def test_bench_profile_build(benchmark, community):
+    builder = TaxonomyProfileBuilder(community.taxonomy)
+    agent = max(
+        community.dataset.agents,
+        key=lambda a: len(community.dataset.ratings_of(a)),
+    )
+    ratings = community.dataset.ratings_of(agent)
+    profile = benchmark(lambda: builder.build(ratings, community.dataset.products))
+    assert profile
+
+
+def test_bench_pearson_similarity(benchmark, community, store):
+    agents = sorted(community.dataset.agents)[:2]
+    left, right = store.profile(agents[0]), store.profile(agents[1])
+    value = benchmark(lambda: pearson(left, right))
+    assert -1.0 <= value <= 1.0
+
+
+def test_bench_cosine_similarity(benchmark, community, store):
+    agents = sorted(community.dataset.agents)[:2]
+    left, right = store.profile(agents[0]), store.profile(agents[1])
+    value = benchmark(lambda: cosine(left, right))
+    assert -1.0 <= value <= 1.0
+
+
+def test_bench_recommend_end_to_end(benchmark, community, graph, store, source):
+    recommender = SemanticWebRecommender(
+        dataset=community.dataset, graph=graph, profiles=store
+    )
+    recs = benchmark(lambda: recommender.recommend(source, limit=10))
+    assert recs
+
+
+def test_bench_ntriples_roundtrip(benchmark, community, source):
+    dataset = community.dataset
+    graph = publish_agent(
+        dataset.agents[source], dataset.trust_of(source), dataset.ratings_of(source)
+    )
+    text = serialize_ntriples(graph)
+
+    def roundtrip():
+        return parse_ntriples(serialize_ntriples(parse_ntriples(text)))
+
+    result = benchmark(roundtrip)
+    assert len(result) == len(graph)

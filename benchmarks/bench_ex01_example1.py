@@ -1,0 +1,22 @@
+"""EX1 — Figure 1 / Example 1: topic score assignment.
+
+Regenerates the paper's only worked numeric artifact and asserts the
+reproduced values match the printed ones to three significant digits.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments import PAPER_EXAMPLE1, run_ex01_example1
+
+
+def bench_table():
+    return run_ex01_example1()
+
+
+def test_ex01_example1(benchmark):
+    table = benchmark(bench_table)
+    report(table)
+    for topic, paper_value, reproduced, _ in (tuple(r) for r in table.rows):
+        assert abs(float(reproduced) - PAPER_EXAMPLE1[topic]) < 0.005

@@ -1,0 +1,23 @@
+"""EX2 — trust/interest correlation (§3.2, ref [5]).
+
+Regenerates the similarity-by-trust-distance table and asserts the
+paper's claimed ordering: direct trust > 2-hop > random.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments import run_ex02_trust_similarity
+
+
+def test_ex02_trust_similarity(benchmark, community):
+    table = benchmark.pedantic(
+        lambda: run_ex02_trust_similarity(community), rounds=1, iterations=1
+    )
+    report(table)
+    by_class = {row[0]: row for row in table.rows}
+    direct = float(by_class["direct trust (1 hop)"][2])
+    two_hop = float(by_class["2-hop trust"][2])
+    randomized = float(by_class["random"][2])
+    assert direct > two_hop > randomized

@@ -1,0 +1,23 @@
+"""EX3 — Appleseed convergence and neighborhood size (§3.2, ref [12]).
+
+Sweeps the spreading factor d and convergence threshold T_c and asserts
+the expected shape: tighter thresholds cost more iterations, higher d
+explores larger neighborhoods.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments import run_ex03_appleseed_convergence
+
+
+def test_ex03_appleseed_convergence(benchmark, community):
+    table = benchmark.pedantic(
+        lambda: run_ex03_appleseed_convergence(community), rounds=1, iterations=1
+    )
+    report(table)
+    for loose, tight in zip(table.rows[0::2], table.rows[1::2]):
+        assert float(tight[3]) >= float(loose[3])
+    sizes = [float(row[4]) for row in table.rows[1::2]]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,28 @@
+"""EX4 — attack resistance: Appleseed vs Advogato vs scalar-path (§3.2).
+
+Regenerates the sybil-admission table and asserts that group metrics
+bound admission by the attack-edge cut while the scalar metric degrades.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments import run_ex04_attack_resistance
+
+
+def test_ex04_attack_resistance(benchmark, community):
+    table = benchmark.pedantic(
+        lambda: run_ex04_attack_resistance(community), rounds=1, iterations=1
+    )
+    report(table)
+    zero = table.rows[0]
+    worst = table.rows[-1]
+    assert float(zero[1]) == 0.0
+    assert float(zero[2]) == 0.0
+    assert float(zero[3].split()[0]) == 0.0
+    assert float(zero[4].split()[0]) == 0.0
+    scalar_frac = float(worst[4].split()[0])
+    assert scalar_frac > float(worst[1])  # vs appleseed
+    assert scalar_frac > float(worst[2])  # vs pagerank
+    assert scalar_frac > float(worst[3].split()[0])  # vs advogato

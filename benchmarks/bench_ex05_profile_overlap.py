@@ -1,0 +1,24 @@
+"""EX5 — the low-profile-overlap problem and its taxonomy fix (§2, §3.3).
+
+Regenerates the overlap table and asserts the claimed ordering:
+product vectors < flat categories <= taxonomy-propagated profiles.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments import run_ex05_profile_overlap
+
+
+def test_ex05_profile_overlap(benchmark, community):
+    table = benchmark.pedantic(
+        lambda: run_ex05_profile_overlap(community), rounds=1, iterations=1
+    )
+    report(table)
+    by_repr = {row[0]: row for row in table.rows}
+    product = float(by_repr["product vectors"][1])
+    flat = float(by_repr["flat categories"][1])
+    taxonomy = float(by_repr["taxonomy (Eq. 3)"][1])
+    assert product < flat <= taxonomy
+    assert taxonomy > 0.9

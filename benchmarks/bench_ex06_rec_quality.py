@@ -1,0 +1,23 @@
+"""EX6 — recommendation quality across methods (§3 overall).
+
+Regenerates the leave-5-out precision/recall/F1@10 comparison and asserts
+that every personalized method beats popularity and random.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments import run_ex06_recommendation_quality
+
+
+def test_ex06_recommendation_quality(benchmark, community):
+    table = benchmark.pedantic(
+        lambda: run_ex06_recommendation_quality(community), rounds=1, iterations=1
+    )
+    report(table)
+    f1 = {row[0]: float(row[4]) for row in table.rows}
+    assert f1["hybrid (trust+taxonomy)"] > f1["popularity"]
+    assert f1["hybrid (trust+taxonomy)"] > f1["random"]
+    assert f1["pure CF (taxonomy)"] > f1["random"]
+    assert f1["trust only"] > f1["random"]

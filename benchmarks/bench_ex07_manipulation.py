@@ -1,0 +1,25 @@
+"""EX7 — robustness to profile-copy manipulation (§3.2).
+
+Regenerates the contamination table and asserts that trust filtering
+suppresses attacker items that trust-blind CF recommends.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments import run_ex07_manipulation
+
+
+def test_ex07_manipulation(benchmark, community):
+    table = benchmark.pedantic(
+        lambda: run_ex07_manipulation(community), rounds=1, iterations=1
+    )
+    report(table)
+    for row in table.rows:
+        hybrid = float(row[1])
+        blind = float(row[2])
+        assert hybrid <= blind
+    # At the largest sybil count the attack must visibly work on blind CF.
+    assert float(table.rows[-1][2]) > 0.0
+    assert float(table.rows[-1][1]) == 0.0

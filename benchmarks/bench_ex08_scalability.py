@@ -1,0 +1,23 @@
+"""EX8 — scalability: bounded neighborhoods vs global CF (§2).
+
+Regenerates the latency-vs-community-size table and asserts the claimed
+shape: the CF/hybrid cost ratio grows with community size (global CF
+scales with |A|, the trust-bounded pipeline with the neighborhood).
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments import run_ex08_scalability
+
+SIZES = (200, 400, 800, 1600)
+
+
+def test_ex08_scalability(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_ex08_scalability(sizes=SIZES), rounds=1, iterations=1
+    )
+    report(table)
+    ratios = [float(row[3]) for row in table.rows]
+    assert ratios[-1] > ratios[0]

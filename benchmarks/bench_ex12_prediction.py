@@ -1,0 +1,22 @@
+"""EX12 — rating prediction MAE (explicit-rating community).
+
+Regenerates the MAE table and asserts both personalized weight sources
+beat the global-mean baseline while the trust-bounded predictor keeps
+high coverage.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments_ext import explicit_community, run_ex12_prediction
+
+
+def test_ex12_prediction(benchmark):
+    community = explicit_community()
+    table = benchmark.pedantic(
+        lambda: run_ex12_prediction(community), rounds=1, iterations=1
+    )
+    report(table)
+    mae = {row[0]: float(row[2]) for row in table.rows}
+    assert mae["hybrid weights"] < mae["global mean"]

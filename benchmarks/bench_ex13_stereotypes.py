@@ -1,0 +1,20 @@
+"""EX13 — automated stereotype generation (§6 future work).
+
+Regenerates the stereotype table and asserts that k-means over taxonomy
+profiles recovers the planted interest clusters far above chance.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments_ext import run_ex13_stereotypes
+
+
+def test_ex13_stereotypes(benchmark, community):
+    table = benchmark.pedantic(
+        lambda: run_ex13_stereotypes(community), rounds=1, iterations=1
+    )
+    report(table)
+    rows = {row[0]: row[1] for row in table.rows}
+    assert float(rows["cluster purity vs planted"]) > 2 * float(rows["chance purity"])

@@ -1,0 +1,26 @@
+"""EX14 — ablations of the ♦-marked design decisions (DESIGN.md §4).
+
+Regenerates the ablation table and asserts the mechanism-level shapes:
+backward edges concentrate rank near the source; nonlinear normalization
+concentrates rank on strong edges.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments_ext import run_ex14_ablations
+
+
+def test_ex14_ablations(benchmark, community):
+    table = benchmark.pedantic(
+        lambda: run_ex14_ablations(community), rounds=1, iterations=1
+    )
+    report(table)
+    rows = {(row[0], row[1]): (row[2], row[3]) for row in table.rows}
+    with_dist, without_dist = rows[
+        ("appleseed backward edges", "rank-weighted hop distance")
+    ]
+    assert float(with_dist) < float(without_dist)
+    nonlinear, linear = rows[("nonlinear normalization", "top-10 rank share")]
+    assert float(nonlinear) > float(linear)

@@ -1,0 +1,23 @@
+"""EX15 — weblog mining round trip (§4).
+
+Regenerates the weblog-mining table and asserts the implicit-vote channel
+is lossless: hyperlink mining recovers every rating and the mined dataset
+reproduces the reference recommendations exactly.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments_ext import run_ex15_weblog_mining
+
+
+def test_ex15_weblog_mining(benchmark, community):
+    table = benchmark.pedantic(
+        lambda: run_ex15_weblog_mining(community), rounds=1, iterations=1
+    )
+    report(table)
+    rows = {row[0]: row[1] for row in table.rows}
+    recovered, expected = rows["ratings recovered"].split("/")
+    assert recovered == expected
+    assert float(rows["rec overlap@10 vs reference"]) == 1.0

@@ -1,0 +1,25 @@
+"""EX16 — topic diversification trade-off (§3.4).
+
+Regenerates the accuracy-vs-ILS curve and asserts the published shape:
+intra-list similarity falls monotonically with the diversification
+factor.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments_ext import run_ex16_diversification
+
+
+def test_ex16_diversification(benchmark, community):
+    table = benchmark.pedantic(
+        lambda: run_ex16_diversification(community), rounds=1, iterations=1
+    )
+    report(table)
+    ils = [float(row[3]) for row in table.rows]
+    assert ils == sorted(ils, reverse=True)
+    # Theta=0 is the undiversified reference; it must carry the best
+    # (or tied-best) precision.
+    precisions = [float(row[1]) for row in table.rows]
+    assert precisions[0] == max(precisions)

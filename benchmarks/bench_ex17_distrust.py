@@ -1,0 +1,25 @@
+"""EX17 — explicit distrust statements (§3.1 / §3.2).
+
+Regenerates the distrust-handling table and asserts that one-step
+distrust discounting strictly reduces the rogue agents' rank share
+relative to ignoring distrust.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments_ext import run_ex17_distrust
+
+
+def test_ex17_distrust(benchmark, community):
+    table = benchmark.pedantic(
+        lambda: run_ex17_distrust(community), rounds=1, iterations=1
+    )
+    report(table)
+    rows = {row[0]: row for row in table.rows}
+    ignored_share = float(rows["ignored"][1])
+    discounted_share = float(rows["one-step discount"][1])
+    assert ignored_share > 0.0  # rogues do gain rank when distrust is ignored
+    assert discounted_share < ignored_share
+    assert float(rows["one-step discount"][2]) <= float(rows["ignored"][2])

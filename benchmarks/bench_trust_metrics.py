@@ -1,0 +1,65 @@
+"""Trust-metric runtime comparison across community sizes.
+
+Times one neighborhood computation per metric (Appleseed, personalized
+PageRank, Advogato, scalar path) on communities of increasing size, so
+the cost of each §3.2 design option is directly comparable.  All four
+run on the identical graph and source.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.amazon import book_taxonomy_config
+from repro.datasets.generators import CommunityConfig, generate_community
+from repro.trust.advogato import Advogato
+from repro.trust.appleseed import Appleseed
+from repro.trust.graph import TrustGraph
+from repro.trust.pagerank import PersonalizedPageRank
+from repro.trust.scalar import multiplicative_path_trust
+
+
+@pytest.fixture(scope="module", params=[400, 1600])
+def sized_graph(request):
+    size = request.param
+    config = CommunityConfig(
+        n_agents=size,
+        n_products=size,
+        n_clusters=8,
+        seed=31,
+        taxonomy=book_taxonomy_config(target_topics=400, seed=31),
+    )
+    community = generate_community(config)
+    graph = TrustGraph.from_dataset(community.dataset)
+    source = sorted(community.dataset.agents)[0]
+    return size, graph, source
+
+
+def test_bench_appleseed_metric(benchmark, sized_graph):
+    size, graph, source = sized_graph
+    benchmark.group = f"trust-metrics-{size}"
+    result = benchmark(lambda: Appleseed().compute(graph, source))
+    assert result.converged
+
+
+def test_bench_pagerank_metric(benchmark, sized_graph):
+    size, graph, source = sized_graph
+    benchmark.group = f"trust-metrics-{size}"
+    result = benchmark(lambda: PersonalizedPageRank().compute(graph, source))
+    assert result.converged
+
+
+def test_bench_advogato_metric(benchmark, sized_graph):
+    size, graph, source = sized_graph
+    benchmark.group = f"trust-metrics-{size}"
+    result = benchmark(lambda: Advogato(target_size=50).compute(graph, source))
+    assert result.accepts(source)
+
+
+def test_bench_scalar_path_metric(benchmark, sized_graph):
+    size, graph, source = sized_graph
+    benchmark.group = f"trust-metrics-{size}"
+    scores = benchmark(
+        lambda: multiplicative_path_trust(graph, source, max_depth=6)
+    )
+    assert scores

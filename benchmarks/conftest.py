@@ -1,0 +1,30 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each ``bench_ex*.py`` regenerates one experiment of the reproduction
+index (DESIGN.md §5).  The run prints the experiment's table — the
+rows/series the paper's claims map onto — and the pytest-benchmark
+fixture additionally records the wall-clock cost of regenerating it.
+
+Run everything:   pytest benchmarks/ --benchmark-only
+Run one table:    pytest benchmarks/bench_ex06_rec_quality.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.amazon import book_taxonomy_config
+from repro.datasets.generators import CommunityConfig, generate_community
+
+
+@pytest.fixture(scope="session")
+def community():
+    """The shared default community all table benches run against."""
+    config = CommunityConfig(
+        n_agents=400,
+        n_products=800,
+        n_clusters=8,
+        seed=42,
+        taxonomy=book_taxonomy_config(target_topics=800, seed=42),
+    )
+    return generate_community(config)

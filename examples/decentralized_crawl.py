@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""The decentralized deployment scenario of §4, end to end.
+
+* every agent publishes a machine-readable FOAF homepage (N-Triples) with
+  trust statements and implicit book ratings,
+* the shared taxonomy and product catalog are published as global
+  documents,
+* a crawler walks ``foaf:knows`` links from a seed agent under a fetch
+  budget and assembles a *partial* local replica,
+* the recommender computes locally from that replica,
+* an agent updates its homepage asynchronously; a refresh pass picks the
+  new version up and the recommendations change.
+
+Run:  python examples/decentralized_crawl.py
+"""
+
+from __future__ import annotations
+
+from repro import SemanticWebRecommender, quickstart_community
+from repro.semweb.foaf import publish_agent
+from repro.semweb.serializer import serialize_ntriples, serialize_turtle
+from repro.semweb.namespace import FOAF, REPRO, TRUST
+from repro.web.crawler import Crawler, publish_community
+from repro.web.network import SimulatedWeb
+
+
+def main() -> None:
+    dataset, taxonomy = quickstart_community(seed=21, agents=120, products=250)
+    web = SimulatedWeb()
+    taxonomy_uri, catalog_uri = publish_community(web, dataset, taxonomy)
+    print(f"Published {len(web)} documents onto the simulated Web")
+
+    seed = sorted(dataset.agents)[0]
+    homepage = publish_agent(
+        dataset.agents[seed], dataset.trust_of(seed), dataset.ratings_of(seed)
+    )
+    print(f"\nThe seed agent's homepage ({seed}), as Turtle:")
+    prefixes = {"foaf": str(FOAF), "trust": str(TRUST), "repro": str(REPRO)}
+    print("\n".join(serialize_turtle(homepage, prefixes).splitlines()[:18]))
+    print("  ...")
+
+    # Crawl with a modest budget.
+    crawler = Crawler(web=web)
+    crawler.fetch_global_documents(taxonomy_uri, catalog_uri)
+    report = crawler.crawl([seed], budget=60)
+    print(
+        f"\nCrawl from seed: fetched={report.fetched} "
+        f"discovered={report.discovered} budget_exhausted={report.budget_exhausted}"
+    )
+
+    partial, failures = crawler.store.assemble_dataset()
+    local_taxonomy = crawler.store.assemble_taxonomy()
+    print(f"Partial replica: {partial.summary()}  parse failures: {len(failures)}")
+
+    recommender = SemanticWebRecommender.from_dataset(partial, local_taxonomy)
+    before = recommender.recommend(seed, limit=5)
+    print("\nRecommendations from the partial replica:")
+    for item in before:
+        print(f"  {item.product}  score={item.score:.3f}")
+
+    # A trusted peer publishes new ratings — asynchronously.
+    peer = next(iter(partial.trust_of(seed)))
+    new_ratings = dict(dataset.ratings_of(peer))
+    fresh_products = [p for p in sorted(dataset.products) if p not in new_ratings]
+    for product in fresh_products[:5]:
+        new_ratings[product] = 1.0
+    web.stage_update(
+        peer,
+        serialize_ntriples(
+            publish_agent(dataset.agents[peer], dataset.trust_of(peer), new_ratings)
+        ),
+    )
+    print(f"\nPeer {peer} staged a homepage update (5 new ratings).")
+    print(f"Refresh before delivery refetches: {crawler.refresh().fetched} docs")
+    web.deliver()
+    refreshed = crawler.refresh()
+    print(f"Refresh after delivery refetches:  {refreshed.fetched} docs")
+
+    partial2, _ = crawler.store.assemble_dataset()
+    recommender2 = SemanticWebRecommender.from_dataset(partial2, local_taxonomy)
+    after = recommender2.recommend(seed, limit=5)
+    print("\nRecommendations after the refresh:")
+    for item in after:
+        print(f"  {item.product}  score={item.score:.3f}")
+    changed = {i.product for i in after} != {i.product for i in before}
+    print(f"\nRecommendation list changed: {changed}")
+
+
+if __name__ == "__main__":
+    main()

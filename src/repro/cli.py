@@ -1,0 +1,278 @@
+"""Command-line interface: generate, inspect, recommend, trust, experiment.
+
+Installed as the ``repro`` console script.  Subcommands:
+
+* ``repro generate``   — generate a synthetic community to JSONL snapshots
+* ``repro info``       — summarize a dataset snapshot
+* ``repro recommend``  — top-N recommendations for one agent
+* ``repro trust``      — trust neighborhood of one agent (Appleseed/Advogato)
+* ``repro experiment`` — run one EX table (EX01–EX15) and print it
+
+Every command works off the JSONL snapshot format of
+:mod:`repro.datasets.io`, so pipelines compose through files::
+
+    repro generate --agents 300 --products 600 --out data.jsonl --taxonomy-out tax.jsonl
+    repro info --data data.jsonl
+    repro recommend --data data.jsonl --taxonomy tax.jsonl --agent-index 0
+    repro experiment EX05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .core.neighborhood import NeighborhoodFormation
+from .core.profiles import TaxonomyProfileBuilder
+from .core.recommender import (
+    PopularityRecommender,
+    ProfileStore,
+    PureCFRecommender,
+    RandomRecommender,
+    SemanticWebRecommender,
+    TrustOnlyRecommender,
+)
+from .datasets.amazon import book_taxonomy_config
+from .datasets.generators import CommunityConfig, generate_community
+from .datasets.io import load_dataset, load_taxonomy, save_dataset, save_taxonomy
+from .trust.advogato import Advogato
+from .trust.appleseed import Appleseed
+from .trust.graph import TrustGraph
+
+__all__ = ["main"]
+
+_EXPERIMENTS = {
+    "EX01": ("experiments", "run_ex01_example1", False),
+    "EX02": ("experiments", "run_ex02_trust_similarity", True),
+    "EX03": ("experiments", "run_ex03_appleseed_convergence", True),
+    "EX04": ("experiments", "run_ex04_attack_resistance", True),
+    "EX05": ("experiments", "run_ex05_profile_overlap", True),
+    "EX06": ("experiments", "run_ex06_recommendation_quality", True),
+    "EX07": ("experiments", "run_ex07_manipulation", True),
+    "EX08": ("experiments", "run_ex08_scalability", False),
+    "EX09": ("experiments", "run_ex09_taxonomy_structure", False),
+    "EX10": ("experiments", "run_ex10_synthesis", True),
+    "EX11": ("experiments", "run_ex11_crawler", True),
+    "EX12": ("experiments_ext", "run_ex12_prediction", False),
+    "EX13": ("experiments_ext", "run_ex13_stereotypes", True),
+    "EX14": ("experiments_ext", "run_ex14_ablations", True),
+    "EX15": ("experiments_ext", "run_ex15_weblog_mining", True),
+    "EX16": ("experiments_ext", "run_ex16_diversification", True),
+    "EX17": ("experiments_ext", "run_ex17_distrust", True),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semantic Web Recommender Systems (EDBT 2004) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic community")
+    generate.add_argument("--agents", type=int, default=300)
+    generate.add_argument("--products", type=int, default=600)
+    generate.add_argument("--clusters", type=int, default=8)
+    generate.add_argument("--topics", type=int, default=800)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--explicit", action="store_true",
+                          help="graded explicit ratings instead of implicit +1 votes")
+    generate.add_argument("--out", required=True, help="dataset JSONL path")
+    generate.add_argument("--taxonomy-out", required=True, help="taxonomy JSONL path")
+
+    info = sub.add_parser("info", help="summarize a dataset snapshot")
+    info.add_argument("--data", required=True)
+
+    recommend = sub.add_parser("recommend", help="recommend products for an agent")
+    recommend.add_argument("--data", required=True)
+    recommend.add_argument("--taxonomy", required=True)
+    group = recommend.add_mutually_exclusive_group(required=True)
+    group.add_argument("--agent", help="agent URI")
+    group.add_argument("--agent-index", type=int, help="index into sorted agent list")
+    recommend.add_argument("--limit", type=int, default=10)
+    recommend.add_argument(
+        "--method",
+        choices=["hybrid", "cf", "trust", "popularity", "random"],
+        default="hybrid",
+    )
+
+    trust = sub.add_parser("trust", help="compute a trust neighborhood")
+    trust.add_argument("--data", required=True)
+    group = trust.add_mutually_exclusive_group(required=True)
+    group.add_argument("--source", help="source agent URI")
+    group.add_argument("--source-index", type=int, help="index into sorted agents")
+    trust.add_argument("--metric", choices=["appleseed", "advogato"], default="appleseed")
+    trust.add_argument("--top", type=int, default=10)
+
+    experiment = sub.add_parser("experiment", help="run one experiment table")
+    experiment.add_argument("id", choices=sorted(_EXPERIMENTS), metavar="ID",
+                            help="EX01..EX17")
+
+    demo = sub.add_parser(
+        "demo",
+        help="full decentralized demo: generate, publish, crawl, recommend",
+    )
+    demo.add_argument("--agents", type=int, default=120)
+    demo.add_argument("--products", type=int, default=240)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--limit", type=int, default=5)
+    demo.add_argument("--split-channels", action="store_true",
+                      help="publish trust on homepages, ratings on weblogs")
+
+    return parser
+
+
+def _pick_agent(dataset, uri: str | None, index: int | None) -> str:
+    agents = sorted(dataset.agents)
+    if uri is not None:
+        if uri not in dataset.agents:
+            raise SystemExit(f"error: unknown agent {uri!r}")
+        return uri
+    assert index is not None
+    if not 0 <= index < len(agents):
+        raise SystemExit(f"error: agent index out of range (0..{len(agents) - 1})")
+    return agents[index]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = CommunityConfig(
+        n_agents=args.agents,
+        n_products=args.products,
+        n_clusters=args.clusters,
+        seed=args.seed,
+        explicit_ratings=args.explicit,
+        taxonomy=book_taxonomy_config(target_topics=args.topics, seed=args.seed),
+    )
+    community = generate_community(config)
+    save_dataset(community.dataset, args.out)
+    save_taxonomy(community.taxonomy, args.taxonomy_out)
+    summary = community.dataset.summary()
+    print(f"wrote {args.out} ({summary['agents']} agents, "
+          f"{summary['ratings']} ratings, {summary['trust_statements']} trust stmts)")
+    print(f"wrote {args.taxonomy_out} ({len(community.taxonomy)} topics)")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.data)
+    for key, value in dataset.summary().items():
+        if isinstance(value, float):
+            print(f"{key}: {value:.6f}")
+        else:
+            print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.data)
+    taxonomy = load_taxonomy(args.taxonomy)
+    agent = _pick_agent(dataset, args.agent, args.agent_index)
+    store = ProfileStore(dataset, TaxonomyProfileBuilder(taxonomy))
+    graph = TrustGraph.from_dataset(dataset)
+    if args.method == "hybrid":
+        recommender = SemanticWebRecommender(
+            dataset=dataset, graph=graph, profiles=store,
+            formation=NeighborhoodFormation(),
+        )
+    elif args.method == "cf":
+        recommender = PureCFRecommender(dataset=dataset, profiles=store)
+    elif args.method == "trust":
+        recommender = TrustOnlyRecommender(dataset=dataset, graph=graph)
+    elif args.method == "popularity":
+        recommender = PopularityRecommender(dataset=dataset)
+    else:
+        recommender = RandomRecommender(dataset=dataset)
+    print(f"agent: {agent}")
+    recommendations = recommender.recommend(agent, limit=args.limit)
+    if not recommendations:
+        print("no recommendations (empty neighborhood or no votable products)")
+        return 1
+    for item in recommendations:
+        title = dataset.products[item.product].title
+        print(f"{item.product}\t{item.score:.4f}\t{title}")
+    return 0
+
+
+def _cmd_trust(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.data)
+    source = _pick_agent(dataset, args.source, args.source_index)
+    graph = TrustGraph.from_dataset(dataset)
+    print(f"source: {source}")
+    if args.metric == "appleseed":
+        result = Appleseed().compute(graph, source)
+        print(
+            f"appleseed: {len(result.ranks)} ranked, "
+            f"{result.iterations} iterations, converged={result.converged}"
+        )
+        for agent, rank in result.top(args.top):
+            print(f"{agent}\t{rank:.4f}")
+    else:
+        result = Advogato(target_size=args.top).compute(graph, source)
+        print(f"advogato: {len(result.accepted)} certified (flow {result.total_flow})")
+        for agent in sorted(result.accepted):
+            print(agent)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module_name, func_name, needs_community = _EXPERIMENTS[args.id]
+    from .evaluation import experiments, experiments_ext
+
+    module = experiments if module_name == "experiments" else experiments_ext
+    func = getattr(module, func_name)
+    if needs_community:
+        table = func(experiments.default_community())
+    else:
+        table = func()
+    print(table.render())
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    """The whole decentralized loop in one command."""
+    from .agent import LocalAgent
+    from .web.crawler import publish_community
+    from .web.network import SimulatedWeb
+    from .web.replicator import publish_split_community
+
+    config = CommunityConfig(
+        n_agents=args.agents,
+        n_products=args.products,
+        n_clusters=6,
+        seed=args.seed,
+        taxonomy=book_taxonomy_config(target_topics=400, seed=args.seed),
+    )
+    community = generate_community(config)
+    web = SimulatedWeb()
+    publisher = publish_split_community if args.split_channels else publish_community
+    publisher(web, community.dataset, community.taxonomy)
+    print(f"published {len(web)} documents "
+          f"({'split' if args.split_channels else 'merged'} channels)")
+
+    principal = sorted(community.dataset.agents)[0]
+    me = LocalAgent(uri=principal, web=web)
+    stats = me.sync()
+    print(f"synced: {stats}")
+    print(f"\ntop-{args.limit} recommendations for {principal}:")
+    for item in me.recommendations(limit=args.limit):
+        print(f"  {me.explain(item)}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+        "recommend": _cmd_recommend,
+        "trust": _cmd_trust,
+        "experiment": _cmd_experiment,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

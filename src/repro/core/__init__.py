@@ -1,0 +1,88 @@
+"""The paper's primary contribution: trust-aware, taxonomy-driven CF."""
+
+from .diversify import TopicDiversifier, intra_list_similarity, product_topic_profile
+from .models import Agent, Dataset, Product, Rating, TrustStatement
+from .neighborhood import NeighborhoodFormation, TrustNeighborhood
+from .prediction import RatingPredictor, predict_rating
+from .profiles import (
+    DEFAULT_PROFILE_SCORE,
+    TaxonomyProfileBuilder,
+    descriptor_score_path,
+    flat_category_profile,
+    product_profile,
+)
+from .recommender import (
+    ContentBasedExplorer,
+    FallbackRecommender,
+    PopularityRecommender,
+    ProfileStore,
+    PureCFRecommender,
+    RandomRecommender,
+    Recommendation,
+    Recommender,
+    SemanticWebRecommender,
+    TrustOnlyRecommender,
+)
+from .similarity import cosine, pearson, profile_overlap, top_similar
+from .stereotypes import (
+    Stereotype,
+    StereotypeModel,
+    StereotypeRecommender,
+    cluster_profiles,
+)
+from .synthesis import (
+    BordaCount,
+    LinearBlend,
+    Multiplicative,
+    SynthesisStrategy,
+    TrustFilter,
+    strategy_by_name,
+)
+from .taxonomy import Taxonomy, TaxonomyError, figure1_fragment
+
+__all__ = [
+    "Agent",
+    "BordaCount",
+    "ContentBasedExplorer",
+    "DEFAULT_PROFILE_SCORE",
+    "Dataset",
+    "FallbackRecommender",
+    "LinearBlend",
+    "Multiplicative",
+    "NeighborhoodFormation",
+    "PopularityRecommender",
+    "Product",
+    "ProfileStore",
+    "PureCFRecommender",
+    "RandomRecommender",
+    "Rating",
+    "RatingPredictor",
+    "Recommendation",
+    "Recommender",
+    "SemanticWebRecommender",
+    "Stereotype",
+    "StereotypeModel",
+    "StereotypeRecommender",
+    "SynthesisStrategy",
+    "Taxonomy",
+    "TaxonomyError",
+    "TaxonomyProfileBuilder",
+    "TopicDiversifier",
+    "TrustFilter",
+    "TrustNeighborhood",
+    "TrustOnlyRecommender",
+    "TrustStatement",
+    "cluster_profiles",
+    "cosine",
+    "descriptor_score_path",
+    "figure1_fragment",
+    "flat_category_profile",
+    "intra_list_similarity",
+    "pearson",
+    "predict_rating",
+    "product_profile",
+    "product_topic_profile",
+    "profile_overlap",
+    "strategy_by_name",
+    "top_similar",
+]

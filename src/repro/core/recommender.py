@@ -1,0 +1,386 @@
+"""End-to-end recommenders: the paper's pipeline and its baselines.
+
+:class:`SemanticWebRecommender` realizes the full §3 pipeline for one
+principal agent, computed *locally* as the paper requires:
+
+1. **Trust neighborhood formation** (§3.2) — Appleseed ranks over the web
+   of trust, thresholded/top-M (:mod:`repro.core.neighborhood`).
+2. **Similarity-based filtering** (§3.3) — taxonomy profiles and
+   Pearson/cosine similarity against each neighbor.
+3. **Rank synthesization** (§3.4) — a pluggable merge strategy yields one
+   overall rank weight per peer.
+4. **Recommendation** — "every a_j voting for all its appreciated
+   products b_k with its own rank weight" (the paper's primary proposal);
+   products already rated by the principal are excluded.
+
+Baselines for the experiments:
+
+* :class:`PureCFRecommender` — centralized CF over *all* agents (no
+  trust), with either taxonomy or raw product profiles.
+* :class:`TrustOnlyRecommender` — Appleseed ranks as voting weights, no
+  similarity at all (trust as a similarity *surrogate*, §3.2).
+* :class:`ContentBasedExplorer` — the §3.4 content-based alternative:
+  propose products from categories the principal "has left untouched
+  until present" but that highly weighted peers appreciate.
+* :class:`RandomRecommender` and :class:`PopularityRecommender` — floor
+  and non-personalized references.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..trust.graph import TrustGraph
+from .models import Dataset
+from .neighborhood import NeighborhoodFormation, TrustNeighborhood
+from .profiles import Profile, TaxonomyProfileBuilder, product_profile
+from .similarity import Domain, cosine, pearson
+from .synthesis import LinearBlend, SynthesisStrategy
+from .taxonomy import Taxonomy
+
+__all__ = [
+    "ContentBasedExplorer",
+    "FallbackRecommender",
+    "PopularityRecommender",
+    "ProfileStore",
+    "PureCFRecommender",
+    "RandomRecommender",
+    "Recommendation",
+    "Recommender",
+    "SemanticWebRecommender",
+    "TrustOnlyRecommender",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """One recommended product with its aggregated score and supporters."""
+
+    product: str
+    score: float
+    supporters: tuple[str, ...] = ()
+
+
+class ProfileStore:
+    """Lazily builds and caches taxonomy profiles for a community.
+
+    Centralizing the cache matters: experiments recompute similarities for
+    thousands of agent pairs and profile construction dominates without it.
+    Call :meth:`invalidate` after mutating an agent's ratings.
+    """
+
+    def __init__(self, dataset: Dataset, builder: TaxonomyProfileBuilder) -> None:
+        self.dataset = dataset
+        self.builder = builder
+        self._cache: dict[str, Profile] = {}
+
+    def profile(self, agent: str) -> Profile:
+        """The taxonomy profile of *agent* (cached)."""
+        cached = self._cache.get(agent)
+        if cached is None:
+            ratings = self.dataset.ratings_of(agent)
+            cached = self.builder.build(ratings, self.dataset.products)
+            self._cache[agent] = cached
+        return cached
+
+    def invalidate(self, agent: str | None = None) -> None:
+        """Drop cached profiles (one agent, or all when *agent* is None)."""
+        if agent is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(agent, None)
+
+
+def _similarity_function(measure: str):
+    if measure == "pearson":
+        return pearson
+    if measure == "cosine":
+        return cosine
+    raise ValueError(f"unknown similarity measure {measure!r}")
+
+
+def _vote(
+    dataset: Dataset,
+    weights: dict[str, float],
+    exclude: set[str],
+    limit: int,
+) -> list[Recommendation]:
+    """Weighted product voting: the paper's primary §3.4 proposal."""
+    scores: dict[str, float] = {}
+    supporters: dict[str, list[str]] = {}
+    for peer, weight in weights.items():
+        if weight <= 0.0:
+            continue
+        for product, value in dataset.ratings_of(peer).items():
+            if value <= 0.0 or product in exclude:
+                continue
+            scores[product] = scores.get(product, 0.0) + weight
+            supporters.setdefault(product, []).append(peer)
+    ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [
+        Recommendation(
+            product=product,
+            score=score,
+            supporters=tuple(sorted(supporters[product])),
+        )
+        for product, score in ranked[:limit]
+    ]
+
+
+class Recommender(ABC):
+    """Common interface: top-N product recommendations for one agent."""
+
+    @abstractmethod
+    def recommend(self, agent: str, limit: int = 10) -> list[Recommendation]:
+        """Return up to *limit* recommendations for *agent*, best first."""
+
+
+@dataclass
+class SemanticWebRecommender(Recommender):
+    """The paper's full trust + taxonomy pipeline (see module docstring).
+
+    All heavyweight state (trust graph, profile store) is built once in
+    :meth:`from_dataset` and shared across calls; :meth:`recommend` runs
+    the per-principal local computation.
+    """
+
+    dataset: Dataset
+    graph: TrustGraph
+    profiles: ProfileStore
+    formation: NeighborhoodFormation = field(default_factory=NeighborhoodFormation)
+    synthesis: SynthesisStrategy = field(default_factory=LinearBlend)
+    similarity_measure: str = "pearson"
+    similarity_domain: Domain = "union"
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: Dataset,
+        taxonomy: Taxonomy,
+        formation: NeighborhoodFormation | None = None,
+        synthesis: SynthesisStrategy | None = None,
+        similarity_measure: str = "pearson",
+        similarity_domain: Domain = "union",
+        builder: TaxonomyProfileBuilder | None = None,
+    ) -> "SemanticWebRecommender":
+        """Assemble the recommender from a community snapshot."""
+        builder = builder or TaxonomyProfileBuilder(taxonomy)
+        return cls(
+            dataset=dataset,
+            graph=TrustGraph.from_dataset(dataset),
+            profiles=ProfileStore(dataset, builder),
+            formation=formation or NeighborhoodFormation(),
+            synthesis=synthesis or LinearBlend(),
+            similarity_measure=similarity_measure,
+            similarity_domain=similarity_domain,
+        )
+
+    # -- pipeline stages, exposed for inspection and experiments ------------
+
+    def neighborhood(self, agent: str) -> TrustNeighborhood:
+        """Stage 1: the principal's trust neighborhood."""
+        return self.formation.form(self.graph, agent)
+
+    def similarities(
+        self, agent: str, peers: set[str]
+    ) -> dict[str, float]:
+        """Stage 2: taxonomy-profile similarity to each peer."""
+        func = _similarity_function(self.similarity_measure)
+        own = self.profiles.profile(agent)
+        return {
+            peer: func(own, self.profiles.profile(peer), self.similarity_domain)
+            for peer in peers
+        }
+
+    def peer_weights(self, agent: str) -> dict[str, float]:
+        """Stages 1-3: overall rank weight per voting peer."""
+        hood = self.neighborhood(agent)
+        sims = self.similarities(agent, hood.members())
+        return self.synthesis.merge(hood.normalized, sims)
+
+    def recommend(self, agent: str, limit: int = 10) -> list[Recommendation]:
+        if agent not in self.dataset.agents:
+            raise KeyError(f"unknown agent {agent!r}")
+        weights = self.peer_weights(agent)
+        exclude = set(self.dataset.ratings_of(agent))
+        return _vote(self.dataset, weights, exclude, limit)
+
+
+@dataclass
+class PureCFRecommender(Recommender):
+    """Centralized collaborative filtering over the whole community.
+
+    The generic approach the paper contrasts itself against: similarity is
+    computed against *every* other agent (no trust pre-filtering), the
+    ``neighbors`` most similar peers vote with their similarity as weight.
+    ``representation`` chooses taxonomy profiles ("taxonomy") or classic
+    product-rating vectors ("product", with intersection-domain Pearson).
+    """
+
+    dataset: Dataset
+    profiles: ProfileStore | None = None
+    representation: str = "taxonomy"
+    similarity_measure: str | None = None
+    neighbors: int = 20
+
+    def __post_init__(self) -> None:
+        if self.representation not in ("taxonomy", "product"):
+            raise ValueError(f"unknown representation {self.representation!r}")
+        if self.representation == "taxonomy" and self.profiles is None:
+            raise ValueError("taxonomy representation requires a ProfileStore")
+        if self.neighbors < 1:
+            raise ValueError("neighbors must be at least 1")
+        if self.similarity_measure is None:
+            # Pearson suits dense taxonomy profiles; implicit +1.0 product
+            # vectors have zero variance on co-rated items, which makes
+            # Pearson degenerate, so product mode defaults to cosine.
+            measure = "pearson" if self.representation == "taxonomy" else "cosine"
+            self.similarity_measure = measure
+
+    def _profile(self, agent: str) -> Profile:
+        if self.representation == "taxonomy":
+            assert self.profiles is not None
+            return self.profiles.profile(agent)
+        return product_profile(self.dataset.ratings_of(agent))
+
+    def peer_weights(self, agent: str) -> dict[str, float]:
+        """Top-k most similar peers with positive similarity."""
+        assert self.similarity_measure is not None
+        func = _similarity_function(self.similarity_measure)
+        if self.representation == "taxonomy":
+            domain: Domain = "union"
+        else:
+            # Union-domain cosine over implicit vectors reduces to the
+            # normalized co-rating count; Pearson keeps the classic
+            # co-rated-items convention.
+            domain = "union" if self.similarity_measure == "cosine" else "intersection"
+        own = self._profile(agent)
+        scored = []
+        for peer in self.dataset.agents:
+            if peer == agent:
+                continue
+            value = func(own, self._profile(peer), domain)
+            if value > 0.0:
+                scored.append((peer, value))
+        scored.sort(key=lambda kv: (-kv[1], kv[0]))
+        return dict(scored[: self.neighbors])
+
+    def recommend(self, agent: str, limit: int = 10) -> list[Recommendation]:
+        weights = self.peer_weights(agent)
+        exclude = set(self.dataset.ratings_of(agent))
+        return _vote(self.dataset, weights, exclude, limit)
+
+
+@dataclass
+class TrustOnlyRecommender(Recommender):
+    """Trust ranks as voting weights, no similarity computation at all."""
+
+    dataset: Dataset
+    graph: TrustGraph
+    formation: NeighborhoodFormation = field(default_factory=NeighborhoodFormation)
+
+    def recommend(self, agent: str, limit: int = 10) -> list[Recommendation]:
+        hood = self.formation.form(self.graph, agent)
+        exclude = set(self.dataset.ratings_of(agent))
+        return _vote(self.dataset, hood.normalized, exclude, limit)
+
+
+@dataclass
+class ContentBasedExplorer(Recommender):
+    """§3.4's exploratory scheme: recommend from *untouched* categories.
+
+    "One might propose agent a_i products from categories that a_i has
+    left untouched until present … incentive for trying new product groups
+    becomes created."  Peers vote as in the main pipeline, but only
+    products whose descriptors are all outside the principal's profile
+    support survive the filter.
+    """
+
+    inner: SemanticWebRecommender
+
+    def recommend(self, agent: str, limit: int = 10) -> list[Recommendation]:
+        weights = self.inner.peer_weights(agent)
+        exclude = set(self.inner.dataset.ratings_of(agent))
+        touched = set(self.inner.profiles.profile(agent))
+        candidates = _vote(self.inner.dataset, weights, exclude, limit=10**9)
+        fresh = []
+        for rec in candidates:
+            product = self.inner.dataset.products.get(rec.product)
+            if product is None or not product.descriptors:
+                continue
+            if product.descriptors.isdisjoint(touched):
+                fresh.append(rec)
+            if len(fresh) >= limit:
+                break
+        return fresh
+
+
+@dataclass
+class RandomRecommender(Recommender):
+    """Uniformly random unrated products — the floor every method must beat."""
+
+    dataset: Dataset
+    seed: int = 0
+
+    def recommend(self, agent: str, limit: int = 10) -> list[Recommendation]:
+        exclude = set(self.dataset.ratings_of(agent))
+        pool = sorted(p for p in self.dataset.products if p not in exclude)
+        # Seeding with a string is deterministic across processes (unlike
+        # hash() of a str, which PYTHONHASHSEED randomizes).
+        rng = random.Random(f"{self.seed}:{agent}")
+        rng.shuffle(pool)
+        return [Recommendation(product=p, score=0.0) for p in pool[:limit]]
+
+
+@dataclass
+class FallbackRecommender(Recommender):
+    """Cold-start combinator: try *primary*, fall back when it is short.
+
+    New agents have no trust statements and often no ratings, so the
+    trust-aware pipeline legitimately returns nothing for them (§3.2's
+    subjectivity cuts both ways).  A deployment still has to answer; the
+    standard answer is a non-personalized fallback.  The combinator fills
+    the remainder of the list from *fallback*, skipping duplicates, and
+    marks nothing — callers can distinguish provenance via supporters
+    (fallback items from :class:`PopularityRecommender`/
+    :class:`RandomRecommender` carry no supporters).
+    """
+
+    primary: Recommender
+    fallback: Recommender
+
+    def recommend(self, agent: str, limit: int = 10) -> list[Recommendation]:
+        items = list(self.primary.recommend(agent, limit=limit))
+        if len(items) >= limit:
+            return items[:limit]
+        have = {item.product for item in items}
+        for item in self.fallback.recommend(agent, limit=limit + len(have)):
+            if item.product not in have:
+                items.append(item)
+                have.add(item.product)
+            if len(items) >= limit:
+                break
+        return items
+
+
+@dataclass
+class PopularityRecommender(Recommender):
+    """Most-rated products first — the non-personalized reference."""
+
+    dataset: Dataset
+
+    def recommend(self, agent: str, limit: int = 10) -> list[Recommendation]:
+        counts: dict[str, int] = {}
+        for rating in self.dataset.iter_ratings():
+            if rating.is_positive and rating.agent != agent:
+                counts[rating.product] = counts.get(rating.product, 0) + 1
+        exclude = set(self.dataset.ratings_of(agent))
+        ranked = sorted(
+            ((p, c) for p, c in counts.items() if p not in exclude),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        return [
+            Recommendation(product=p, score=float(c)) for p, c in ranked[:limit]
+        ]

@@ -1,0 +1,223 @@
+"""Automated stereotype generation from taxonomy profiles (§6).
+
+The paper's future work: "we are currently investigating applicability
+of taxonomy-based profile generation for automated stereotype generation
+and efficient behavior modelling."  This module delivers that study:
+
+* :func:`cluster_profiles` — spherical k-means over the sparse topic
+  vectors (cosine assignment, centroid = normalized mean profile),
+  deterministic given the seed, with empty-cluster reseeding;
+* :class:`Stereotype` — a centroid profile plus its member agents;
+* :class:`StereotypeRecommender` — assigns the principal to its nearest
+  stereotype and recommends the products most popular *within that
+  stereotype's membership*.  Because assignment costs one similarity per
+  stereotype (instead of one per agent), this is the "efficient behavior
+  modelling" angle: k ≪ |A| comparisons per recommendation.
+
+EX12 (see :mod:`repro.evaluation.experiments_ext`) measures how well the
+discovered stereotypes recover the generator's planted interest
+clusters, and how stereotype recommendations compare to the full
+pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from .models import Dataset
+from .profiles import Profile
+from .recommender import ProfileStore, Recommendation, Recommender
+from .similarity import cosine
+
+__all__ = ["Stereotype", "StereotypeModel", "StereotypeRecommender", "cluster_profiles"]
+
+
+def _normalize(profile: Profile) -> Profile:
+    norm = math.sqrt(sum(v * v for v in profile.values()))
+    if norm <= 0.0:
+        return {}
+    return {k: v / norm for k, v in profile.items()}
+
+
+def _mean_profile(profiles: list[Profile]) -> Profile:
+    acc: Profile = {}
+    for profile in profiles:
+        for key, value in profile.items():
+            acc[key] = acc.get(key, 0.0) + value
+    n = len(profiles)
+    return {k: v / n for k, v in acc.items()} if n else {}
+
+
+@dataclass(frozen=True, slots=True)
+class Stereotype:
+    """One discovered stereotype: centroid profile plus its members."""
+
+    index: int
+    centroid: Profile
+    members: tuple[str, ...]
+
+    def top_topics(self, limit: int = 5) -> list[str]:
+        """The centroid's highest-scoring topics (the stereotype's theme)."""
+        ordered = sorted(self.centroid.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [topic for topic, _ in ordered[:limit]]
+
+
+@dataclass
+class StereotypeModel:
+    """A fitted set of stereotypes with assignment support."""
+
+    stereotypes: list[Stereotype]
+    iterations: int
+    converged: bool
+
+    def assign(self, profile: Profile) -> int:
+        """Index of the stereotype most similar to *profile* (cosine)."""
+        if not self.stereotypes:
+            raise ValueError("model has no stereotypes")
+        best_index = 0
+        best_value = -2.0
+        for stereotype in self.stereotypes:
+            value = cosine(profile, stereotype.centroid)
+            if value > best_value:
+                best_value = value
+                best_index = stereotype.index
+        return best_index
+
+    def membership(self) -> dict[str, int]:
+        """Agent URI -> stereotype index over all fitted members."""
+        return {
+            agent: stereotype.index
+            for stereotype in self.stereotypes
+            for agent in stereotype.members
+        }
+
+
+def cluster_profiles(
+    profiles: dict[str, Profile],
+    k: int,
+    seed: int = 0,
+    max_iterations: int = 50,
+) -> StereotypeModel:
+    """Spherical k-means over sparse profiles (deterministic per seed).
+
+    Agents with empty profiles are excluded from fitting (they carry no
+    behavioural signal); clusters that empty out mid-run are reseeded
+    from the currently worst-served agent, so the model always returns
+    exactly ``min(k, #non-empty agents)`` stereotypes.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    agents = sorted(a for a, p in profiles.items() if p)
+    if not agents:
+        return StereotypeModel(stereotypes=[], iterations=0, converged=True)
+    k = min(k, len(agents))
+    rng = random.Random(seed)
+    normalized = {a: _normalize(profiles[a]) for a in agents}
+
+    seeds = rng.sample(agents, k)
+    centroids = [dict(normalized[a]) for a in seeds]
+    assignment: dict[str, int] = {}
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        fresh: dict[str, int] = {}
+        similarity_to_own: dict[str, float] = {}
+        for agent in agents:
+            best_index = 0
+            best_value = -2.0
+            for index, centroid in enumerate(centroids):
+                value = cosine(normalized[agent], centroid)
+                if value > best_value:
+                    best_value = value
+                    best_index = index
+            fresh[agent] = best_index
+            similarity_to_own[agent] = best_value
+        if fresh == assignment:
+            converged = True
+            break
+        assignment = fresh
+        groups: dict[int, list[Profile]] = {}
+        for agent, index in assignment.items():
+            groups.setdefault(index, []).append(normalized[agent])
+        for index in range(k):
+            members = groups.get(index)
+            if members:
+                centroids[index] = _normalize(_mean_profile(members))
+            else:
+                # Reseed an empty cluster from the worst-served agent.
+                worst = min(agents, key=lambda a: similarity_to_own[a])
+                centroids[index] = dict(normalized[worst])
+
+    by_cluster: dict[int, list[str]] = {}
+    for agent, index in assignment.items():
+        by_cluster.setdefault(index, []).append(agent)
+    stereotypes = [
+        Stereotype(
+            index=index,
+            centroid=centroids[index],
+            members=tuple(sorted(by_cluster.get(index, ()))),
+        )
+        for index in range(k)
+    ]
+    return StereotypeModel(
+        stereotypes=stereotypes, iterations=iteration, converged=converged
+    )
+
+
+@dataclass
+class StereotypeRecommender(Recommender):
+    """Recommend what the principal's stereotype's members like.
+
+    Assignment costs k cosine comparisons; voting runs over the
+    stereotype membership only.  The coarse but cheap baseline the
+    paper's "efficient behavior modelling" remark points at.
+    """
+
+    dataset: Dataset
+    profiles: ProfileStore
+    model: StereotypeModel
+
+    @classmethod
+    def fit(
+        cls,
+        dataset: Dataset,
+        profiles: ProfileStore,
+        k: int = 8,
+        seed: int = 0,
+    ) -> "StereotypeRecommender":
+        """Fit stereotypes over every agent's profile and wrap them."""
+        fitted = cluster_profiles(
+            {agent: profiles.profile(agent) for agent in dataset.agents},
+            k=k,
+            seed=seed,
+        )
+        return cls(dataset=dataset, profiles=profiles, model=fitted)
+
+    def recommend(self, agent: str, limit: int = 10) -> list[Recommendation]:
+        profile = self.profiles.profile(agent)
+        if not profile or not self.model.stereotypes:
+            return []
+        index = self.model.assign(profile)
+        stereotype = self.model.stereotypes[index]
+        exclude = set(self.dataset.ratings_of(agent))
+        counts: dict[str, int] = {}
+        supporters: dict[str, list[str]] = {}
+        for member in stereotype.members:
+            if member == agent:
+                continue
+            for product, value in self.dataset.ratings_of(member).items():
+                if value <= 0.0 or product in exclude:
+                    continue
+                counts[product] = counts.get(product, 0) + 1
+                supporters.setdefault(product, []).append(member)
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [
+            Recommendation(
+                product=product,
+                score=float(count),
+                supporters=tuple(sorted(supporters[product])),
+            )
+            for product, count in ranked[:limit]
+        ]

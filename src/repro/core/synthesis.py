@@ -1,0 +1,166 @@
+"""Rank synthesization (§3.4): merging trust rank and similarity rank.
+
+The paper leaves this step as future work and sketches the design space:
+"One must now merge trust rank and similarity rank into one single
+measure, i.e., its overall rank weight."  We implement the natural
+candidates so EX10 can compare them empirically:
+
+* :class:`LinearBlend` — convex combination
+  ``γ·trust + (1-γ)·similarity`` over normalized inputs; γ=0.5 weights the
+  two pillars equally, γ=1 degenerates to trust-only, γ=0 to
+  similarity-within-neighborhood.
+* :class:`Multiplicative` — geometric interaction ``trust · similarity⁺``;
+  a peer must score on *both* dimensions to matter.
+* :class:`BordaCount` — rank-position voting, robust to the two signals'
+  incomparable scales.
+* :class:`TrustFilter` — the paper's minimal reading of §3.3: trust only
+  gates admission; within the neighborhood the weight is similarity alone.
+
+All strategies receive *normalized* trust ranks in ``[0, 1]`` and
+similarities in ``[-1, 1]`` for the peers of one trust neighborhood, and
+return non-negative overall rank weights (peers with non-positive merged
+weight are dropped — a negatively correlated peer should not vote).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+
+__all__ = [
+    "BordaCount",
+    "LinearBlend",
+    "Multiplicative",
+    "SynthesisStrategy",
+    "TrustFilter",
+    "strategy_by_name",
+]
+
+
+class SynthesisStrategy(ABC):
+    """Interface: merge per-peer trust and similarity into rank weights."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def merge(
+        self,
+        trust: Mapping[str, float],
+        similarity: Mapping[str, float],
+    ) -> dict[str, float]:
+        """Return strictly positive overall weights for voting peers.
+
+        *trust* and *similarity* are keyed by peer; peers missing from
+        *similarity* are treated as similarity 0.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class LinearBlend(SynthesisStrategy):
+    """``γ·trust + (1-γ)·max(similarity, 0)`` — the convex combination."""
+
+    name = "linear"
+
+    def __init__(self, gamma: float = 0.5) -> None:
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError("gamma must lie in [0, 1]")
+        self.gamma = gamma
+
+    def merge(
+        self,
+        trust: Mapping[str, float],
+        similarity: Mapping[str, float],
+    ) -> dict[str, float]:
+        merged = {}
+        for peer, trust_rank in trust.items():
+            sim = max(similarity.get(peer, 0.0), 0.0)
+            weight = self.gamma * trust_rank + (1.0 - self.gamma) * sim
+            if weight > 0.0:
+                merged[peer] = weight
+        return merged
+
+    def __repr__(self) -> str:
+        return f"LinearBlend(gamma={self.gamma})"
+
+
+class Multiplicative(SynthesisStrategy):
+    """``trust · max(similarity, 0)`` — both signals must be present."""
+
+    name = "multiplicative"
+
+    def merge(
+        self,
+        trust: Mapping[str, float],
+        similarity: Mapping[str, float],
+    ) -> dict[str, float]:
+        merged = {}
+        for peer, trust_rank in trust.items():
+            weight = trust_rank * max(similarity.get(peer, 0.0), 0.0)
+            if weight > 0.0:
+                merged[peer] = weight
+        return merged
+
+
+class BordaCount(SynthesisStrategy):
+    """Sum of Borda points from the two rankings.
+
+    Each peer earns ``n - position`` points per ranking (best gets ``n``,
+    worst gets 1); weights are the point totals normalized by ``2n`` so
+    they stay in ``(0, 1]``.  Scale-free: only rank order matters.
+    """
+
+    name = "borda"
+
+    def merge(
+        self,
+        trust: Mapping[str, float],
+        similarity: Mapping[str, float],
+    ) -> dict[str, float]:
+        peers = list(trust)
+        if not peers:
+            return {}
+        n = len(peers)
+        points: dict[str, int] = {peer: 0 for peer in peers}
+        for key in (trust, {p: similarity.get(p, 0.0) for p in peers}):
+            ordered = sorted(peers, key=lambda p: (-key[p], p))
+            for position, peer in enumerate(ordered):
+                points[peer] += n - position
+        return {peer: score / (2 * n) for peer, score in points.items() if score > 0}
+
+
+class TrustFilter(SynthesisStrategy):
+    """Trust gates admission only; weight is similarity within the gate."""
+
+    name = "trust_filter"
+
+    def merge(
+        self,
+        trust: Mapping[str, float],
+        similarity: Mapping[str, float],
+    ) -> dict[str, float]:
+        merged = {}
+        for peer in trust:
+            sim = similarity.get(peer, 0.0)
+            if sim > 0.0:
+                merged[peer] = sim
+        return merged
+
+
+_STRATEGIES: dict[str, type[SynthesisStrategy]] = {
+    LinearBlend.name: LinearBlend,
+    Multiplicative.name: Multiplicative,
+    BordaCount.name: BordaCount,
+    TrustFilter.name: TrustFilter,
+}
+
+
+def strategy_by_name(name: str, **kwargs: float) -> SynthesisStrategy:
+    """Instantiate a synthesis strategy by its registry name."""
+    try:
+        cls = _STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_STRATEGIES))
+        raise ValueError(f"unknown strategy {name!r}; known: {known}") from None
+    return cls(**kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,264 @@
+"""The taxonomy ``C`` over topics ``D`` (§3.1) and the Figure 1 fragment.
+
+The paper arranges topics in an acyclic graph with a partial subset order
+and exactly one top element ⊤, then notes that the score-propagation
+formula (Eq. 3) "for simplicity" assumes ``C`` tree-structured — every
+deployment example (the Amazon book taxonomy) is a tree.  This module
+therefore implements a rooted tree: each topic except the root has exactly
+one parent.  Multi-classification flexibility comes from products carrying
+*multiple descriptors*, not from multi-parent topics.
+
+The module also ships the exact taxonomy fragment of Figure 1, with
+sibling counts chosen to match Example 1's arithmetic (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Optional
+
+__all__ = ["Taxonomy", "TaxonomyError", "figure1_fragment"]
+
+
+class TaxonomyError(ValueError):
+    """Raised on structural violations: cycles, duplicate ids, orphans."""
+
+
+class Taxonomy:
+    """A single-rooted topic tree with O(1) parent/children access.
+
+    Topics are identified by opaque strings (Amazon "browse node" ids in
+    the deployment the paper describes).  The root is created by the
+    constructor and represents the paper's top element ⊤ ("Books" in
+    Figure 1).
+    """
+
+    def __init__(self, root: str = "ROOT", root_label: str = "") -> None:
+        if not root:
+            raise TaxonomyError("root identifier must be non-empty")
+        self._root = root
+        self._parent: dict[str, Optional[str]] = {root: None}
+        self._children: dict[str, list[str]] = {root: []}
+        self._labels: dict[str, str] = {root: root_label or root}
+        self._depth: dict[str, int] = {root: 0}
+
+    # -- construction -------------------------------------------------------
+
+    def add_topic(self, topic: str, parent: str, label: str = "") -> None:
+        """Insert *topic* as a child of *parent*.
+
+        Children keep insertion order, which makes sibling enumeration and
+        serialization deterministic.
+        """
+        if not topic:
+            raise TaxonomyError("topic identifier must be non-empty")
+        if topic in self._parent:
+            raise TaxonomyError(f"duplicate topic {topic!r}")
+        if parent not in self._parent:
+            raise TaxonomyError(f"unknown parent {parent!r} for topic {topic!r}")
+        self._parent[topic] = parent
+        self._children[parent].append(topic)
+        self._children[topic] = []
+        self._labels[topic] = label or topic
+        self._depth[topic] = self._depth[parent] + 1
+
+    @classmethod
+    def from_edges(
+        cls,
+        root: str,
+        edges: Iterable[tuple[str, str]],
+        labels: Optional[dict[str, str]] = None,
+    ) -> "Taxonomy":
+        """Build a taxonomy from (parent, child) *edges*.
+
+        Edges may arrive in any order; the builder topologically sorts
+        them and raises :class:`TaxonomyError` on cycles, orphan subtrees
+        or multiple parents.
+        """
+        labels = labels or {}
+        taxonomy = cls(root, labels.get(root, ""))
+        pending: dict[str, list[tuple[str, str]]] = {}
+        seen_child: set[str] = set()
+        for parent, child in edges:
+            if child in seen_child:
+                raise TaxonomyError(f"topic {child!r} has multiple parents")
+            seen_child.add(child)
+            pending.setdefault(parent, []).append((parent, child))
+
+        frontier = [root]
+        while frontier:
+            parent = frontier.pop()
+            for parent_id, child in pending.pop(parent, []):
+                taxonomy.add_topic(child, parent_id, labels.get(child, ""))
+                frontier.append(child)
+        if pending:
+            unreachable = sorted(
+                child for edge_list in pending.values() for _, child in edge_list
+            )
+            raise TaxonomyError(
+                f"unreachable topics (cycle or orphan subtree): {unreachable}"
+            )
+        return taxonomy
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def root(self) -> str:
+        """The top element ⊤ of §3.1 (zero indegree)."""
+        return self._root
+
+    def __contains__(self, topic: str) -> bool:
+        return topic in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._parent)
+
+    def label(self, topic: str) -> str:
+        """Human-readable label of *topic*."""
+        self._require(topic)
+        return self._labels[topic]
+
+    def parent(self, topic: str) -> Optional[str]:
+        """Parent of *topic*; ``None`` for the root."""
+        self._require(topic)
+        return self._parent[topic]
+
+    def children(self, topic: str) -> tuple[str, ...]:
+        """Direct subtopics of *topic*, in insertion order."""
+        self._require(topic)
+        return tuple(self._children[topic])
+
+    def depth(self, topic: str) -> int:
+        """Edge distance from the root (root has depth 0)."""
+        self._require(topic)
+        return self._depth[topic]
+
+    def is_leaf(self, topic: str) -> bool:
+        """Whether *topic* has zero outdegree (a most-specific category)."""
+        self._require(topic)
+        return not self._children[topic]
+
+    def leaves(self) -> list[str]:
+        """All leaf topics."""
+        return [t for t, kids in self._children.items() if not kids]
+
+    def sibling_count(self, topic: str) -> int:
+        """``sib(topic)``: number of siblings, per Eq. 3.  Root has 0."""
+        parent = self.parent(topic)
+        if parent is None:
+            return 0
+        return len(self._children[parent]) - 1
+
+    def path_to_root(self, topic: str) -> list[str]:
+        """The path ``(p_q = topic, ..., p_0 = root)`` bottom-up."""
+        self._require(topic)
+        path = [topic]
+        current = self._parent[topic]
+        while current is not None:
+            path.append(current)
+            current = self._parent[current]
+        return path
+
+    def path_from_root(self, topic: str) -> list[str]:
+        """The path ``(p_0 = root, ..., p_q = topic)`` as written in §3.3."""
+        return list(reversed(self.path_to_root(topic)))
+
+    def ancestors(self, topic: str) -> list[str]:
+        """Proper ancestors of *topic*, nearest first (excludes *topic*)."""
+        return self.path_to_root(topic)[1:]
+
+    def is_ancestor(self, ancestor: str, topic: str) -> bool:
+        """Whether *ancestor* lies on the path from *topic* to the root.
+
+        Implements the partial subset order ≤ of §3.1 (a topic is its own
+        ancestor, matching subset reflexivity).
+        """
+        self._require(ancestor)
+        return ancestor in self.path_to_root(topic)
+
+    def descendants(self, topic: str) -> list[str]:
+        """All topics strictly below *topic* (preorder)."""
+        self._require(topic)
+        out: list[str] = []
+        stack = list(reversed(self._children[topic]))
+        while stack:
+            current = stack.pop()
+            out.append(current)
+            stack.extend(reversed(self._children[current]))
+        return out
+
+    def lowest_common_ancestor(self, first: str, second: str) -> str:
+        """Deepest topic that is an ancestor of both arguments."""
+        first_path = self.path_to_root(first)
+        second_set = set(self.path_to_root(second))
+        for topic in first_path:
+            if topic in second_set:
+                return topic
+        return self._root  # unreachable: root is on every path
+
+    # -- statistics ------------------------------------------------------------
+
+    def max_depth(self) -> int:
+        """Depth of the deepest topic."""
+        return max(self._depth.values())
+
+    def branching_stats(self) -> dict[str, float]:
+        """Shape statistics: size, leaves, depth, mean branching of inner nodes.
+
+        The paper's future work (§6) contrasts Amazon's deep book taxonomy
+        with its broader, shallower DVD taxonomy; these statistics quantify
+        that contrast for EX9.
+        """
+        inner = [t for t, kids in self._children.items() if kids]
+        total_children = sum(len(self._children[t]) for t in inner)
+        return {
+            "topics": len(self._parent),
+            "leaves": len(self.leaves()),
+            "inner": len(inner),
+            "max_depth": self.max_depth(),
+            "mean_branching": total_children / len(inner) if inner else 0.0,
+        }
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _require(self, topic: str) -> None:
+        if topic not in self._parent:
+            raise TaxonomyError(f"unknown topic {topic!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Taxonomy(root={self._root!r}, topics={len(self._parent)}, "
+            f"max_depth={self.max_depth()})"
+        )
+
+
+def figure1_fragment() -> Taxonomy:
+    """The Amazon book-taxonomy fragment of Figure 1.
+
+    Sibling counts are chosen to reproduce Example 1 exactly:
+    Algebra has 1 sibling, Pure has 2, Mathematics has 3, Science has 3.
+    The path exercised by Example 1 is
+    Books -> Science -> Mathematics -> Pure -> Algebra.
+    """
+    t = Taxonomy("Books", "Books")
+    # Children of the top element: Science plus three siblings.
+    t.add_topic("Science", "Books")
+    t.add_topic("Literature", "Books")
+    t.add_topic("Reference", "Books")
+    t.add_topic("Nonfiction", "Books")
+    # Children of Science: Mathematics plus three siblings.
+    t.add_topic("Mathematics", "Science")
+    t.add_topic("Physics", "Science")
+    t.add_topic("Astronomy", "Science")
+    t.add_topic("Biology", "Science")
+    # Children of Mathematics: Pure plus two siblings.
+    t.add_topic("Pure", "Mathematics")
+    t.add_topic("Applied", "Mathematics")
+    t.add_topic("Discrete", "Mathematics")
+    # Children of Pure: Algebra plus one sibling.
+    t.add_topic("Algebra", "Pure")
+    t.add_topic("Calculus", "Pure")
+    return t

@@ -1,0 +1,38 @@
+"""Synthetic datasets replacing the crawled All Consuming/Amazon data (§4)."""
+
+from .allconsuming import (
+    ALLCONSUMING_AGENTS,
+    ALLCONSUMING_BOOKS,
+    allconsuming_config,
+    generate_allconsuming,
+)
+from .amazon import (
+    TaxonomyConfig,
+    assign_descriptors,
+    book_taxonomy_config,
+    dvd_taxonomy_config,
+    generate_products,
+    generate_taxonomy,
+)
+from .generators import CommunityConfig, SyntheticCommunity, generate_community
+from .io import load_dataset, load_taxonomy, save_dataset, save_taxonomy
+
+__all__ = [
+    "ALLCONSUMING_AGENTS",
+    "ALLCONSUMING_BOOKS",
+    "CommunityConfig",
+    "SyntheticCommunity",
+    "TaxonomyConfig",
+    "allconsuming_config",
+    "assign_descriptors",
+    "book_taxonomy_config",
+    "dvd_taxonomy_config",
+    "generate_allconsuming",
+    "generate_community",
+    "generate_products",
+    "generate_taxonomy",
+    "load_dataset",
+    "load_taxonomy",
+    "save_dataset",
+    "save_taxonomy",
+]

@@ -1,0 +1,217 @@
+"""Synthetic product taxonomies standing in for Amazon's (§4).
+
+The paper relies on Amazon's book taxonomy — "extensive, fine-grained and
+deeply-nested … more than 20,000 topics" — and contrasts it with the DVD
+taxonomy, which "contains more topics than its book counterpart, though
+being less deep" (§6).  The real taxonomies are proprietary, so this
+module generates random taxonomies whose *shape* (size, depth, branching)
+is explicitly controlled, plus presets mimicking the two shapes the paper
+discusses.  Algorithms under test depend only on shape, sibling counts and
+descriptor multiplicity, all of which are preserved.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.models import Product
+from ..core.taxonomy import Taxonomy
+
+__all__ = [
+    "TaxonomyConfig",
+    "assign_descriptors",
+    "book_taxonomy_config",
+    "dvd_taxonomy_config",
+    "generate_products",
+    "generate_taxonomy",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TaxonomyConfig:
+    """Shape parameters for a random taxonomy.
+
+    The tree grows level by level: every node at depth < ``max_depth``
+    receives between ``min_children`` and ``max_children`` children with
+    probability ``expand_probability`` (leaves occur where expansion does
+    not fire or the depth cap is hit); growth stops early once
+    ``target_topics`` is reached.
+    """
+
+    target_topics: int = 1000
+    max_depth: int = 7
+    min_children: int = 2
+    max_children: int = 6
+    expand_probability: float = 0.6
+    root_label: str = "Books"
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.target_topics < 1:
+            raise ValueError("target_topics must be at least 1")
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if not 1 <= self.min_children <= self.max_children:
+            raise ValueError("require 1 <= min_children <= max_children")
+        if not 0.0 < self.expand_probability <= 1.0:
+            raise ValueError("expand_probability must lie in (0, 1]")
+
+
+def book_taxonomy_config(
+    target_topics: int = 1000, seed: int = 42
+) -> TaxonomyConfig:
+    """Deep-narrow shape: Amazon's book taxonomy (default scaled to 1k).
+
+    Pass ``target_topics=20000`` for the full published scale.
+    """
+    return TaxonomyConfig(
+        target_topics=target_topics,
+        max_depth=8,
+        min_children=2,
+        max_children=5,
+        expand_probability=0.65,
+        root_label="Books",
+        seed=seed,
+    )
+
+
+def dvd_taxonomy_config(
+    target_topics: int = 1200, seed: int = 42
+) -> TaxonomyConfig:
+    """Broad-shallow shape: Amazon's DVD taxonomy (§6: more topics, less deep)."""
+    return TaxonomyConfig(
+        target_topics=target_topics,
+        max_depth=4,
+        min_children=6,
+        max_children=14,
+        expand_probability=0.75,
+        root_label="DVD",
+        seed=seed,
+    )
+
+
+def generate_taxonomy(config: TaxonomyConfig) -> Taxonomy:
+    """Generate a random taxonomy with the given shape (deterministic per seed).
+
+    Growth is breadth-first so truncation at ``target_topics`` never
+    leaves a level half-expanded more than once, keeping the shape
+    statistics close to the configured ones.
+    """
+    rng = random.Random(config.seed)
+    root = config.root_label
+    taxonomy = Taxonomy(root, config.root_label)
+    frontier: list[str] = [root]
+    counter = 0
+    while frontier and len(taxonomy) < config.target_topics:
+        next_frontier: list[str] = []
+        for node in frontier:
+            if len(taxonomy) >= config.target_topics:
+                break
+            depth = taxonomy.depth(node)
+            if depth >= config.max_depth:
+                continue
+            # The root always expands: a taxonomy with a childless top
+            # element would be degenerate.
+            if node != root and rng.random() > config.expand_probability:
+                continue
+            n_children = rng.randint(config.min_children, config.max_children)
+            for _ in range(n_children):
+                if len(taxonomy) >= config.target_topics:
+                    break
+                counter += 1
+                topic = f"{config.root_label}/T{counter:05d}"
+                taxonomy.add_topic(topic, node, label=f"Topic {counter}")
+                next_frontier.append(topic)
+        frontier = next_frontier
+
+    # Top-up phase: probabilistic growth can stall well short of large
+    # targets (e.g. the 20,000-topic Amazon scale).  Keep expanding
+    # randomly chosen non-maximal-depth nodes until the target is met.
+    expandable = [t for t in taxonomy if taxonomy.depth(t) < config.max_depth]
+    while len(taxonomy) < config.target_topics and expandable:
+        index = rng.randrange(len(expandable))
+        node = expandable[index]
+        n_children = rng.randint(config.min_children, config.max_children)
+        for _ in range(n_children):
+            if len(taxonomy) >= config.target_topics:
+                break
+            counter += 1
+            topic = f"{config.root_label}/T{counter:05d}"
+            taxonomy.add_topic(topic, node, label=f"Topic {counter}")
+            if taxonomy.depth(topic) < config.max_depth:
+                expandable.append(topic)
+        # Swap-remove the expanded node so growth spreads across the tree.
+        expandable[index] = expandable[-1]
+        expandable.pop()
+    return taxonomy
+
+
+def assign_descriptors(
+    taxonomy: Taxonomy,
+    rng: random.Random,
+    min_descriptors: int = 1,
+    max_descriptors: int = 5,
+    leaves: list[str] | None = None,
+) -> frozenset[str]:
+    """Draw a descriptor set ``f(b)`` for one product.
+
+    Descriptors are leaf topics (Amazon classifies books into the most
+    specific nodes); their number is uniform in the configured range —
+    Example 1's *Matrix Analysis* carries 5.  Descriptors within one
+    product cluster: after the first uniformly drawn leaf, subsequent ones
+    are drawn from the same grandparent's subtree with high probability,
+    because a real book's subject headings are thematically related.
+
+    Pass a precomputed *leaves* list when classifying many products
+    against one taxonomy — enumerating 20k topics per product dominates
+    full-scale catalogue generation otherwise.
+    """
+    if leaves is None:
+        leaves = taxonomy.leaves()
+    if not leaves:
+        return frozenset({taxonomy.root})
+    count = rng.randint(min_descriptors, max_descriptors)
+    first = rng.choice(leaves)
+    chosen = {first}
+    # Candidate pool for related descriptors: leaves below the
+    # grandparent (or parent, near the root) of the first descriptor.
+    anchor = taxonomy.parent(first)
+    if anchor is not None and taxonomy.parent(anchor) is not None:
+        anchor = taxonomy.parent(anchor)
+    related = (
+        [t for t in taxonomy.descendants(anchor) if taxonomy.is_leaf(t)]
+        if anchor is not None
+        else leaves
+    )
+    while len(chosen) < count:
+        pool = related if related and rng.random() < 0.7 else leaves
+        chosen.add(rng.choice(pool))
+        if len(chosen) >= len(leaves):
+            break
+    return frozenset(chosen)
+
+
+def generate_products(
+    taxonomy: Taxonomy,
+    n_products: int,
+    seed: int = 42,
+    min_descriptors: int = 1,
+    max_descriptors: int = 5,
+) -> dict[str, Product]:
+    """Generate a catalogue of *n_products* ISBN-identified products."""
+    if n_products < 1:
+        raise ValueError("n_products must be at least 1")
+    rng = random.Random(seed)
+    leaves = taxonomy.leaves()
+    products: dict[str, Product] = {}
+    for index in range(n_products):
+        identifier = f"isbn:978{index:010d}"
+        products[identifier] = Product(
+            identifier=identifier,
+            title=f"Book {index}",
+            descriptors=assign_descriptors(
+                taxonomy, rng, min_descriptors, max_descriptors, leaves=leaves
+            ),
+        )
+    return products

@@ -1,0 +1,67 @@
+"""Evaluation substrate: metrics, protocol, attacks, experiment suite."""
+
+from .attacks import (
+    ProfileCopyAttack,
+    SybilRegion,
+    inject_profile_copy_attack,
+    inject_sybil_region,
+)
+from .metrics import (
+    catalog_coverage,
+    f1_score,
+    hit_rate,
+    kendall_tau,
+    mean,
+    mean_absolute_error,
+    precision_at,
+    recall_at,
+    spearman_rho,
+    standard_error,
+    stdev,
+)
+from .protocol import (
+    HoldoutSplit,
+    QualityReport,
+    Table,
+    evaluate_recommender,
+    holdout_split,
+    kfold_splits,
+)
+from .significance import (
+    ComparisonResult,
+    bootstrap_confidence_interval,
+    compare_recommenders,
+    paired_permutation_test,
+)
+
+# The experiment suites are imported lazily by callers (repro.cli, the
+# benches) to keep `import repro.evaluation` light; see
+# repro.evaluation.experiments and repro.evaluation.experiments_ext.
+
+__all__ = [
+    "ComparisonResult",
+    "HoldoutSplit",
+    "ProfileCopyAttack",
+    "QualityReport",
+    "SybilRegion",
+    "Table",
+    "bootstrap_confidence_interval",
+    "catalog_coverage",
+    "compare_recommenders",
+    "evaluate_recommender",
+    "f1_score",
+    "hit_rate",
+    "holdout_split",
+    "inject_profile_copy_attack",
+    "inject_sybil_region",
+    "kendall_tau",
+    "kfold_splits",
+    "mean",
+    "mean_absolute_error",
+    "paired_permutation_test",
+    "precision_at",
+    "recall_at",
+    "spearman_rho",
+    "standard_error",
+    "stdev",
+]

@@ -1,0 +1,165 @@
+"""Evaluation metrics for recommendation quality and rank agreement.
+
+Everything here is implemented from first principles on plain Python
+containers — top-N set metrics (precision/recall/F1, hit rate), error
+metrics (MAE), rank-correlation coefficients (Kendall's tau-a, Spearman's
+rho), catalogue coverage, and small statistical helpers used by the
+experiment tables.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = [
+    "catalog_coverage",
+    "f1_score",
+    "hit_rate",
+    "kendall_tau",
+    "mean",
+    "mean_absolute_error",
+    "precision_at",
+    "recall_at",
+    "spearman_rho",
+    "standard_error",
+    "stdev",
+]
+
+
+def precision_at(recommended: Sequence[str], relevant: set[str]) -> float:
+    """Fraction of recommended items that are relevant (0.0 on empty recs)."""
+    if not recommended:
+        return 0.0
+    hits = sum(1 for item in recommended if item in relevant)
+    return hits / len(recommended)
+
+
+def recall_at(recommended: Sequence[str], relevant: set[str]) -> float:
+    """Fraction of relevant items that were recommended (0.0 on empty set)."""
+    if not relevant:
+        return 0.0
+    hits = sum(1 for item in recommended if item in relevant)
+    return hits / len(relevant)
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall (0.0 when both are 0)."""
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def hit_rate(recommended: Sequence[str], relevant: set[str]) -> float:
+    """1.0 if at least one relevant item was recommended, else 0.0."""
+    return 1.0 if any(item in relevant for item in recommended) else 0.0
+
+
+def mean_absolute_error(
+    predicted: Mapping[str, float], actual: Mapping[str, float]
+) -> float:
+    """MAE over the keys present in both mappings (0.0 if none shared)."""
+    shared = predicted.keys() & actual.keys()
+    if not shared:
+        return 0.0
+    return sum(abs(predicted[k] - actual[k]) for k in shared) / len(shared)
+
+
+def catalog_coverage(
+    recommendation_lists: Iterable[Sequence[str]], catalog_size: int
+) -> float:
+    """Fraction of the catalogue that appears in at least one rec list."""
+    if catalog_size <= 0:
+        return 0.0
+    seen: set[str] = set()
+    for items in recommendation_lists:
+        seen.update(items)
+    return len(seen) / catalog_size
+
+
+def kendall_tau(left: Sequence[float], right: Sequence[float]) -> float:
+    """Kendall's tau-a between two equal-length score sequences.
+
+    O(n²) pair counting — exact and dependency-free; the rank lists the
+    experiments compare hold at most a few hundred entries.  Returns 0.0
+    for sequences shorter than 2.
+    """
+    n = len(left)
+    if n != len(right):
+        raise ValueError("sequences must have equal length")
+    if n < 2:
+        return 0.0
+    concordant = 0
+    discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            # Compare signs rather than the product a*b: the product of
+            # two tiny differences can underflow to 0.0 and silently turn
+            # a concordant pair into a tie.
+            a = (left[i] > left[j]) - (left[i] < left[j])
+            b = (right[i] > right[j]) - (right[i] < right[j])
+            if a * b > 0:
+                concordant += 1
+            elif a * b < 0:
+                discordant += 1
+    return (concordant - discordant) / (n * (n - 1) / 2)
+
+
+def _ranks(values: Sequence[float]) -> list[float]:
+    """Average ranks (1-based) with ties sharing their mean rank."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = average
+        i = j + 1
+    return ranks
+
+
+def spearman_rho(left: Sequence[float], right: Sequence[float]) -> float:
+    """Spearman's rank correlation (Pearson over average ranks)."""
+    n = len(left)
+    if n != len(right):
+        raise ValueError("sequences must have equal length")
+    if n < 2:
+        return 0.0
+    rank_left = _ranks(left)
+    rank_right = _ranks(right)
+    mean_left = sum(rank_left) / n
+    mean_right = sum(rank_right) / n
+    cov = sum(
+        (a - mean_left) * (b - mean_right) for a, b in zip(rank_left, rank_right)
+    )
+    var_left = sum((a - mean_left) ** 2 for a in rank_left)
+    var_right = sum((b - mean_right) ** 2 for b in rank_right)
+    if var_left <= 0 or var_right <= 0:
+        return 0.0
+    return max(-1.0, min(1.0, cov / (math.sqrt(var_left) * math.sqrt(var_right))))
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 on empty input, which experiment tables prefer
+    over an exception for empty strata)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
+
+
+def standard_error(values: Sequence[float]) -> float:
+    """Standard error of the mean (0.0 for fewer than two values)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    return stdev(values) / math.sqrt(n)

@@ -1,0 +1,161 @@
+"""Statistical significance for recommender comparisons.
+
+The EX6/EX10 tables report mean ± standard error; when two methods sit
+close, the question is whether the difference survives the per-user
+pairing.  This module provides the two standard dependency-free answers:
+
+* :func:`paired_permutation_test` — exact-in-the-limit test of the null
+  "both methods are exchangeable per user": randomly flips the sign of
+  each user's per-user difference and counts how often the permuted mean
+  difference is at least as extreme as the observed one.
+* :func:`bootstrap_confidence_interval` — percentile bootstrap CI of the
+  mean per-user difference.
+
+Both operate on *paired* per-user metric sequences (same users, same
+order), which is exactly what
+:func:`~repro.evaluation.protocol.evaluate_recommender` iterates over.
+:func:`paired_scores` drives two recommenders over one split and returns
+those sequences.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.recommender import Recommender
+from .metrics import mean, precision_at
+from .protocol import HoldoutSplit
+
+__all__ = [
+    "ComparisonResult",
+    "bootstrap_confidence_interval",
+    "paired_permutation_test",
+    "paired_scores",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonResult:
+    """Outcome of one paired comparison between two methods."""
+
+    mean_difference: float
+    p_value: float
+    ci_low: float
+    ci_high: float
+    n_users: int
+
+    @property
+    def significant(self) -> bool:
+        """Two-sided significance at the conventional 0.05 level."""
+        return self.p_value < 0.05
+
+
+def paired_permutation_test(
+    first: Sequence[float],
+    second: Sequence[float],
+    rounds: int = 10_000,
+    seed: int = 0,
+) -> float:
+    """Two-sided paired sign-flip permutation test; returns the p-value.
+
+    Uses the add-one estimator (never returns exactly 0), which is the
+    unbiased choice for Monte Carlo permutation tests.
+    """
+    if len(first) != len(second):
+        raise ValueError("paired sequences must have equal length")
+    if rounds < 1:
+        raise ValueError("rounds must be at least 1")
+    differences = [a - b for a, b in zip(first, second)]
+    if not differences:
+        return 1.0
+    observed = abs(mean(differences))
+    if all(d == 0 for d in differences):
+        return 1.0
+    rng = random.Random(seed)
+    hits = 0
+    n = len(differences)
+    for _ in range(rounds):
+        total = 0.0
+        for d in differences:
+            total += d if rng.random() < 0.5 else -d
+        if abs(total / n) >= observed - 1e-15:
+            hits += 1
+    return (hits + 1) / (rounds + 1)
+
+
+def bootstrap_confidence_interval(
+    first: Sequence[float],
+    second: Sequence[float],
+    rounds: int = 10_000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean paired difference."""
+    if len(first) != len(second):
+        raise ValueError("paired sequences must have equal length")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie strictly in (0, 1)")
+    differences = [a - b for a, b in zip(first, second)]
+    if not differences:
+        return (0.0, 0.0)
+    rng = random.Random(seed)
+    n = len(differences)
+    means = sorted(
+        mean([differences[rng.randrange(n)] for _ in range(n)])
+        for _ in range(rounds)
+    )
+    tail = (1.0 - confidence) / 2.0
+    low_index = max(0, min(len(means) - 1, int(tail * rounds)))
+    high_index = max(0, min(len(means) - 1, int((1.0 - tail) * rounds) - 1))
+    return (means[low_index], means[high_index])
+
+
+def paired_scores(
+    first: Recommender,
+    second: Recommender,
+    split: HoldoutSplit,
+    top_n: int = 10,
+) -> tuple[list[float], list[float]]:
+    """Per-user precision@N sequences for two recommenders on one split."""
+    first_scores: list[float] = []
+    second_scores: list[float] = []
+    for agent in split.test_users:
+        relevant = set(split.held_out[agent])
+        first_scores.append(
+            precision_at(
+                [r.product for r in first.recommend(agent, limit=top_n)], relevant
+            )
+        )
+        second_scores.append(
+            precision_at(
+                [r.product for r in second.recommend(agent, limit=top_n)], relevant
+            )
+        )
+    return first_scores, second_scores
+
+
+def compare_recommenders(
+    first: Recommender,
+    second: Recommender,
+    split: HoldoutSplit,
+    top_n: int = 10,
+    rounds: int = 5_000,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Full paired comparison (difference = first − second)."""
+    first_scores, second_scores = paired_scores(first, second, split, top_n)
+    differences = [a - b for a, b in zip(first_scores, second_scores)]
+    low, high = bootstrap_confidence_interval(
+        first_scores, second_scores, rounds=rounds, seed=seed
+    )
+    return ComparisonResult(
+        mean_difference=mean(differences),
+        p_value=paired_permutation_test(
+            first_scores, second_scores, rounds=rounds, seed=seed
+        ),
+        ci_low=low,
+        ci_high=high,
+        n_users=len(differences),
+    )

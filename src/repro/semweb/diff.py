@@ -1,0 +1,138 @@
+"""Graph diffing: what changed when a homepage was republished.
+
+Asynchronous document updates (§2) mean a consumer periodically holds
+two versions of the same homepage.  :func:`graph_diff` computes the
+triple-level delta; :func:`summarize_homepage_update` lifts it to the
+domain level — which trust statements and ratings were added, retracted
+or revalued — which is what an incremental consumer actually reacts to
+(e.g. invalidating one cached profile instead of rebuilding everything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.models import Rating, TrustStatement
+from .foaf import parse_agent_homepage
+from .rdf import Graph, Triple
+
+__all__ = ["GraphDelta", "HomepageUpdate", "graph_diff", "summarize_homepage_update"]
+
+
+@dataclass(frozen=True, slots=True)
+class GraphDelta:
+    """Triple-level difference between two graphs."""
+
+    added: frozenset[Triple]
+    removed: frozenset[Triple]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.removed)
+
+
+def graph_diff(old: Graph, new: Graph) -> GraphDelta:
+    """Triples present only in *new* (added) / only in *old* (removed)."""
+    old_triples = set(old)
+    new_triples = set(new)
+    return GraphDelta(
+        added=frozenset(new_triples - old_triples),
+        removed=frozenset(old_triples - new_triples),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class HomepageUpdate:
+    """Domain-level summary of a homepage revision.
+
+    ``trust_changed``/``ratings_changed`` hold the *new* statement for
+    targets/products present in both versions with a different value.
+    """
+
+    agent: str
+    trust_added: tuple[TrustStatement, ...] = ()
+    trust_removed: tuple[TrustStatement, ...] = ()
+    trust_changed: tuple[TrustStatement, ...] = ()
+    ratings_added: tuple[Rating, ...] = ()
+    ratings_removed: tuple[Rating, ...] = ()
+    ratings_changed: tuple[Rating, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.trust_added
+            or self.trust_removed
+            or self.trust_changed
+            or self.ratings_added
+            or self.ratings_removed
+            or self.ratings_changed
+        )
+
+    @property
+    def affects_trust_graph(self) -> bool:
+        """Whether a consumer must recompute trust neighborhoods."""
+        return bool(self.trust_added or self.trust_removed or self.trust_changed)
+
+    @property
+    def affects_profiles(self) -> bool:
+        """Whether a consumer must rebuild this agent's taxonomy profile."""
+        return bool(
+            self.ratings_added or self.ratings_removed or self.ratings_changed
+        )
+
+
+def summarize_homepage_update(old: Graph, new: Graph) -> HomepageUpdate:
+    """Summarize the revision of one agent's homepage.
+
+    Both graphs must parse as homepages of the *same* principal;
+    :class:`ValueError` otherwise.
+    """
+    old_agent, old_trust, old_ratings = parse_agent_homepage(old)
+    new_agent, new_trust, new_ratings = parse_agent_homepage(new)
+    if old_agent.uri != new_agent.uri:
+        raise ValueError(
+            f"homepage principal changed: {old_agent.uri} -> {new_agent.uri}"
+        )
+
+    old_trust_map = {s.target: s for s in old_trust}
+    new_trust_map = {s.target: s for s in new_trust}
+    trust_added = tuple(
+        new_trust_map[t] for t in sorted(new_trust_map.keys() - old_trust_map.keys())
+    )
+    trust_removed = tuple(
+        old_trust_map[t] for t in sorted(old_trust_map.keys() - new_trust_map.keys())
+    )
+    trust_changed = tuple(
+        new_trust_map[t]
+        for t in sorted(new_trust_map.keys() & old_trust_map.keys())
+        if new_trust_map[t].value != old_trust_map[t].value
+    )
+
+    old_rating_map = {r.product: r for r in old_ratings}
+    new_rating_map = {r.product: r for r in new_ratings}
+    ratings_added = tuple(
+        new_rating_map[p]
+        for p in sorted(new_rating_map.keys() - old_rating_map.keys())
+    )
+    ratings_removed = tuple(
+        old_rating_map[p]
+        for p in sorted(old_rating_map.keys() - new_rating_map.keys())
+    )
+    ratings_changed = tuple(
+        new_rating_map[p]
+        for p in sorted(new_rating_map.keys() & old_rating_map.keys())
+        if new_rating_map[p].value != old_rating_map[p].value
+    )
+
+    return HomepageUpdate(
+        agent=new_agent.uri,
+        trust_added=trust_added,
+        trust_removed=trust_removed,
+        trust_changed=trust_changed,
+        ratings_added=ratings_added,
+        ratings_removed=ratings_removed,
+        ratings_changed=ratings_changed,
+    )

@@ -1,0 +1,219 @@
+"""Machine-readable agent homepages: FOAF + trust + ratings ↔ core models.
+
+§4 of the paper grounds the information model in concrete Web artifacts:
+FOAF homepages ("machine-readable homepages based upon RDF") extended with
+weighted trust relationships (Golbeck's proposal, ref. [4]) and implicit
+product ratings mined from weblogs keyed by ISBN.  This module converts
+between :mod:`repro.core.models` objects and those documents:
+
+* :func:`publish_agent` / :func:`parse_agent_homepage` — one document per
+  agent holding its name, ``foaf:knows`` links (so crawlers can walk the
+  acquaintance network even if they ignore the trust extension), reified
+  trust statements with continuous values, and rating statements;
+* :func:`publish_taxonomy` / :func:`parse_taxonomy` — the globally shared
+  taxonomy ``C``, published as ``rdfs:subClassOf`` assertions;
+* :func:`publish_catalog` / :func:`parse_catalog` — the product set ``B``
+  with descriptor assignments ``f``.
+
+Blank-node identifiers are deterministic (sorted by target/product), so
+publish → serialize → parse round-trips reproduce identical graphs.
+"""
+
+from __future__ import annotations
+
+from ..core.models import Agent, Rating, TrustStatement
+from ..core.models import Product
+from ..core.taxonomy import Taxonomy
+from .namespace import FOAF, RDF, RDFS, REPRO, TRUST
+from .rdf import BNode, Graph, Literal, URIRef
+
+__all__ = [
+    "parse_agent_homepage",
+    "parse_catalog",
+    "parse_taxonomy",
+    "publish_agent",
+    "publish_catalog",
+    "publish_taxonomy",
+]
+
+
+def publish_agent(
+    agent: Agent,
+    trust: dict[str, float],
+    ratings: dict[str, float],
+) -> Graph:
+    """Build the agent's machine-readable homepage graph.
+
+    *trust* maps trusted/distrusted agent URIs to values; *ratings* maps
+    product identifiers to rating values.
+    """
+    me = URIRef(agent.uri)
+    graph = Graph()
+    graph.add((me, RDF.type, FOAF.Person))
+    if agent.name:
+        graph.add((me, FOAF.name, Literal(agent.name)))
+    for index, target in enumerate(sorted(trust)):
+        value = trust[target]
+        peer = URIRef(target)
+        # foaf:knows keeps the document walkable for plain-FOAF crawlers.
+        graph.add((me, FOAF.knows, peer))
+        statement = BNode(f"t{index}")
+        graph.add((me, TRUST.trusts, statement))
+        graph.add((statement, TRUST.target, peer))
+        graph.add((statement, TRUST.value, Literal(float(value))))
+    for index, product in enumerate(sorted(ratings)):
+        value = ratings[product]
+        statement = BNode(f"r{index}")
+        graph.add((me, REPRO.rates, statement))
+        graph.add((statement, REPRO.product, URIRef(product)))
+        graph.add((statement, REPRO.value, Literal(float(value))))
+    return graph
+
+
+def parse_agent_homepage(
+    graph: Graph,
+) -> tuple[Agent, list[TrustStatement], list[Rating]]:
+    """Extract the agent, its trust statements and its ratings from a homepage.
+
+    The document's principal is the unique subject typed ``foaf:Person``;
+    a homepage with zero or several persons is rejected — crawled
+    documents that merge several people's data cannot be attributed.
+    Malformed statements (missing target/value, out-of-range values) are
+    skipped rather than fatal: real crawls encounter broken metadata and
+    must salvage the rest of the document.
+    """
+    persons = list(graph.subjects(RDF.type, FOAF.Person))
+    if len(persons) != 1:
+        raise ValueError(
+            f"expected exactly one foaf:Person per homepage, found {len(persons)}"
+        )
+    me = persons[0]
+    if not isinstance(me, URIRef):
+        raise ValueError("the principal of a homepage must be a URI")
+    name_term = graph.value(subject=me, predicate=FOAF.name)
+    name = name_term.lexical if isinstance(name_term, Literal) else ""
+    agent = Agent(uri=str(me), name=name)
+
+    trust_statements: list[TrustStatement] = []
+    for statement in graph.objects(me, TRUST.trusts):
+        target = graph.value(subject=statement, predicate=TRUST.target)
+        value = graph.value(subject=statement, predicate=TRUST.value)
+        if not isinstance(target, URIRef) or not isinstance(value, Literal):
+            continue
+        try:
+            trust_statements.append(
+                TrustStatement(
+                    source=agent.uri,
+                    target=str(target),
+                    value=float(value.to_python()),
+                )
+            )
+        except (TypeError, ValueError):
+            continue
+
+    rating_statements: list[Rating] = []
+    for statement in graph.objects(me, REPRO.rates):
+        product = graph.value(subject=statement, predicate=REPRO.product)
+        value = graph.value(subject=statement, predicate=REPRO.value)
+        if not isinstance(product, URIRef) or not isinstance(value, Literal):
+            continue
+        try:
+            rating_statements.append(
+                Rating(
+                    agent=agent.uri,
+                    product=str(product),
+                    value=float(value.to_python()),
+                )
+            )
+        except (TypeError, ValueError):
+            continue
+
+    trust_statements.sort(key=lambda s: s.target)
+    rating_statements.sort(key=lambda r: r.product)
+    return agent, trust_statements, rating_statements
+
+
+def _topic_uri(topic: str) -> URIRef:
+    return URIRef(f"http://repro.example.org/topic/{topic}")
+
+
+def _topic_id(term: URIRef) -> str:
+    prefix = "http://repro.example.org/topic/"
+    text = str(term)
+    return text[len(prefix):] if text.startswith(prefix) else text
+
+
+def publish_taxonomy(taxonomy: Taxonomy) -> Graph:
+    """Publish the shared taxonomy ``C`` as ``rdfs:subClassOf`` assertions."""
+    graph = Graph()
+    root_term = _topic_uri(taxonomy.root)
+    graph.add((root_term, RDF.type, REPRO.Topic))
+    graph.add((root_term, RDFS.label, Literal(taxonomy.label(taxonomy.root))))
+    for topic in taxonomy:
+        parent = taxonomy.parent(topic)
+        if parent is None:
+            continue
+        term = _topic_uri(topic)
+        graph.add((term, RDF.type, REPRO.Topic))
+        graph.add((term, RDFS.label, Literal(taxonomy.label(topic))))
+        graph.add((term, RDFS.subClassOf, _topic_uri(parent)))
+    return graph
+
+
+def parse_taxonomy(graph: Graph) -> Taxonomy:
+    """Rebuild a :class:`Taxonomy` from a published taxonomy graph."""
+    edges: list[tuple[str, str]] = []
+    labels: dict[str, str] = {}
+    children: set[str] = set()
+    topics: set[str] = set()
+    for subject in graph.subjects(RDF.type, REPRO.Topic):
+        if isinstance(subject, URIRef):
+            topics.add(_topic_id(subject))
+    for subject, _, obj in graph.triples((None, RDFS.subClassOf, None)):
+        if isinstance(subject, URIRef) and isinstance(obj, URIRef):
+            child = _topic_id(subject)
+            parent = _topic_id(obj)
+            edges.append((parent, child))
+            children.add(child)
+            topics.update((child, parent))
+    for subject, _, obj in graph.triples((None, RDFS.label, None)):
+        if isinstance(subject, URIRef) and isinstance(obj, Literal):
+            labels[_topic_id(subject)] = obj.lexical
+    roots = sorted(topics - children)
+    if len(roots) != 1:
+        raise ValueError(f"taxonomy graph must have exactly one root, found {roots}")
+    return Taxonomy.from_edges(roots[0], edges, labels)
+
+
+def publish_catalog(products: dict[str, Product]) -> Graph:
+    """Publish the product set ``B`` with descriptor assignments ``f``."""
+    graph = Graph()
+    for identifier in sorted(products):
+        product = products[identifier]
+        term = URIRef(identifier)
+        graph.add((term, RDF.type, REPRO.Product))
+        if product.title:
+            graph.add((term, RDFS.label, Literal(product.title)))
+        for topic in sorted(product.descriptors):
+            graph.add((term, REPRO.descriptor, _topic_uri(topic)))
+    return graph
+
+
+def parse_catalog(graph: Graph) -> dict[str, Product]:
+    """Rebuild the product dictionary from a published catalog graph."""
+    products: dict[str, Product] = {}
+    for subject in graph.subjects(RDF.type, REPRO.Product):
+        if not isinstance(subject, URIRef):
+            continue
+        label = graph.value(subject=subject, predicate=RDFS.label)
+        descriptors = frozenset(
+            _topic_id(obj)
+            for obj in graph.objects(subject, REPRO.descriptor)
+            if isinstance(obj, URIRef)
+        )
+        products[str(subject)] = Product(
+            identifier=str(subject),
+            title=label.lexical if isinstance(label, Literal) else "",
+            descriptors=descriptors,
+        )
+    return products

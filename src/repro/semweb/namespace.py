@@ -1,0 +1,56 @@
+"""Namespace helpers and the vocabularies used by the system.
+
+The paper's deployment section (§4) grounds the information model in FOAF
+homepages extended with trust statements (Golbeck's trust module) and
+rating/taxonomy statements.  With no network access we define the
+vocabularies locally; URIs follow the real FOAF namespace plus two project
+namespaces for the trust and rating extensions.
+"""
+
+from __future__ import annotations
+
+from .rdf import URIRef
+
+__all__ = ["Namespace", "RDF", "RDFS", "FOAF", "TRUST", "REPRO"]
+
+
+class Namespace(str):
+    """A URI prefix that mints :class:`URIRef` terms via attribute access.
+
+    >>> FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+    >>> FOAF.knows
+    URIRef('http://xmlns.com/foaf/0.1/knows')
+    >>> FOAF["made"]
+    URIRef('http://xmlns.com/foaf/0.1/made')
+    """
+
+    def __getattr__(self, name: str) -> URIRef:
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return URIRef(self + name)
+
+    def __getitem__(self, name: str) -> URIRef:
+        return URIRef(self + name)
+
+    def term(self, name: str) -> URIRef:
+        """Mint a term explicitly (useful for names shadowing str methods)."""
+        return URIRef(self + name)
+
+
+#: Core RDF vocabulary (``rdf:type`` is the only term the system needs).
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+
+#: RDF Schema vocabulary — ``rdfs:label`` and ``rdfs:subClassOf`` model the
+#: taxonomy's topic labels and the partial subset order ≤ of §3.1.
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+
+#: Friend-of-a-Friend: agents, names, homepages and acquaintance links.
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+
+#: Trust extension in the spirit of Golbeck et al. [4]: weighted, signed
+#: trust statements replacing FOAF's bare ``knows``.
+TRUST = Namespace("http://repro.example.org/trust#")
+
+#: Project vocabulary: products, ISBN-style identifiers, implicit ratings
+#: and taxonomy descriptors (the sets B, R, C, D and function f of §3.1).
+REPRO = Namespace("http://repro.example.org/schema#")

@@ -1,0 +1,105 @@
+"""Basic graph pattern (BGP) matching over the triple store.
+
+A deliberately small SPARQL-like core: a query is a list of triple
+patterns whose positions are RDF terms or :class:`Variable` objects;
+:func:`select` returns every variable binding under which all patterns
+hold simultaneously.  This is the conjunctive-query fragment agents need
+to interrogate crawled documents ("which peers does X trust with value
+above v, and what did they rate?") without a full SPARQL engine.
+
+The solver orders patterns greedily by estimated selectivity (bound
+terms first) and evaluates by backtracking over the store's indexes, so
+typical star-shaped homepage queries run in time proportional to the
+result size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Optional, Union
+
+from .rdf import Graph, Node
+
+__all__ = ["Variable", "select", "select_one"]
+
+
+class Variable(str):
+    """A named query variable (``Variable("x")`` prints as ``?x``)."""
+
+    def __repr__(self) -> str:
+        return f"?{str(self)}"
+
+
+Term = Union[Node, Variable]
+Pattern = tuple[Term, Term, Term]
+Binding = dict[Variable, Node]
+
+
+def _resolve(term: Term, binding: Binding) -> Optional[Node]:
+    """The concrete node for *term* under *binding*, or None if unbound."""
+    if isinstance(term, Variable):
+        return binding.get(term)
+    return term
+
+
+def _selectivity(pattern: Pattern, binding: Binding) -> int:
+    """Bound positions count; higher is evaluated earlier."""
+    return sum(1 for term in pattern if _resolve(term, binding) is not None)
+
+
+def _match_pattern(
+    graph: Graph, pattern: Pattern, binding: Binding
+) -> Iterator[Binding]:
+    subject, predicate, obj = (_resolve(term, binding) for term in pattern)
+    for s, p, o in graph.triples((subject, predicate, obj)):
+        extended = dict(binding)
+        consistent = True
+        for term, value in zip(pattern, (s, p, o)):
+            if isinstance(term, Variable):
+                bound = extended.get(term)
+                if bound is None:
+                    extended[term] = value
+                elif bound != value:
+                    # The same variable occurs twice in this pattern with
+                    # conflicting values (e.g. (?x, p, ?x)).
+                    consistent = False
+                    break
+        if consistent:
+            yield extended
+
+
+def _solve(
+    graph: Graph, patterns: list[Pattern], binding: Binding
+) -> Iterator[Binding]:
+    if not patterns:
+        yield binding
+        return
+    # Greedy: evaluate the currently most selective pattern next.
+    index = max(range(len(patterns)), key=lambda i: _selectivity(patterns[i], binding))
+    chosen = patterns[index]
+    rest = patterns[:index] + patterns[index + 1:]
+    for extended in _match_pattern(graph, chosen, binding):
+        yield from _solve(graph, rest, extended)
+
+
+def select(graph: Graph, patterns: list[Pattern]) -> list[Binding]:
+    """All variable bindings satisfying every pattern (may be empty).
+
+    Bindings are returned in a deterministic order (sorted by their
+    N-Triples rendering) so query results are stable across runs.
+    """
+    if not patterns:
+        return []
+    results = list(_solve(graph, list(patterns), {}))
+    # Deduplicate (two derivations can yield equal bindings) and sort.
+    unique = {tuple(sorted((str(k), v.n3()) for k, v in b.items())): b for b in results}
+    return [unique[key] for key in sorted(unique)]
+
+
+def select_one(graph: Graph, patterns: list[Pattern]) -> Optional[Binding]:
+    """The first solution, or ``None`` — for existence-style queries."""
+    if not patterns:
+        return None
+    for binding in _solve(graph, list(patterns), {}):
+        return binding
+    return None

@@ -1,0 +1,140 @@
+"""Shape validation for crawled documents — data QA for the open Web.
+
+Crawled metadata is never clean (§2: no superordinate authority controls
+what agents publish).  The parsers in :mod:`repro.semweb.foaf` already
+*skip* malformed statements; this module makes the skipped problems
+visible: :func:`validate_homepage` inspects a homepage graph and returns
+a structured issue list a crawler operator can aggregate, rank and act
+on.  Validation never mutates and never raises on content problems —
+only on programmer errors.
+
+Issue codes (stable identifiers, suitable for counting across a crawl):
+
+* ``no-person`` / ``multiple-persons`` — principal resolution impossible
+* ``missing-name`` — cosmetic but common
+* ``trust-missing-target`` / ``trust-missing-value`` — dangling reified
+  trust statement
+* ``trust-out-of-range`` / ``rating-out-of-range`` — value outside
+  [-1, +1]
+* ``trust-self`` — self-trust statement (meaningless, dropped by parsers)
+* ``trust-non-numeric`` / ``rating-non-numeric`` — unusable literal
+* ``rating-missing-product`` / ``rating-missing-value`` — dangling rating
+* ``foreign-subject-statements`` — triples anchored at a non-principal
+  subject (the forgery pattern; see tests/test_security_properties.py)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .namespace import FOAF, RDF, REPRO, TRUST
+from .rdf import Graph, Literal, Node, URIRef
+
+__all__ = ["Issue", "validate_homepage"]
+
+
+@dataclass(frozen=True, slots=True)
+class Issue:
+    """One validation finding: a stable code plus human-readable detail."""
+
+    code: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.code}: {self.detail}"
+
+
+def _numeric_value(term: Node | None) -> float | None:
+    if not isinstance(term, Literal):
+        return None
+    try:
+        return float(term.to_python())
+    except (TypeError, ValueError):
+        return None
+
+
+def validate_homepage(graph: Graph) -> list[Issue]:
+    """Validate one agent homepage graph; return all findings (possibly [])."""
+    issues: list[Issue] = []
+    persons = sorted(
+        (p for p in graph.subjects(RDF.type, FOAF.Person)), key=lambda n: n.n3()
+    )
+    if not persons:
+        issues.append(Issue("no-person", "no foaf:Person typed subject"))
+        return issues
+    if len(persons) > 1:
+        listing = ", ".join(p.n3() for p in persons)
+        issues.append(Issue("multiple-persons", f"ambiguous principal: {listing}"))
+        return issues
+    me = persons[0]
+
+    if graph.value(subject=me, predicate=FOAF.name) is None:
+        issues.append(Issue("missing-name", f"{me.n3()} carries no foaf:name"))
+
+    for statement in graph.objects(me, TRUST.trusts):
+        target = graph.value(subject=statement, predicate=TRUST.target)
+        value_term = graph.value(subject=statement, predicate=TRUST.value)
+        if target is None:
+            issues.append(
+                Issue("trust-missing-target", f"statement {statement.n3()}")
+            )
+        elif target == me:
+            issues.append(Issue("trust-self", f"statement {statement.n3()}"))
+        if value_term is None:
+            issues.append(
+                Issue("trust-missing-value", f"statement {statement.n3()}")
+            )
+            continue
+        value = _numeric_value(value_term)
+        if value is None:
+            issues.append(
+                Issue("trust-non-numeric", f"statement {statement.n3()}")
+            )
+        elif not -1.0 <= value <= 1.0:
+            issues.append(
+                Issue(
+                    "trust-out-of-range",
+                    f"statement {statement.n3()} value {value}",
+                )
+            )
+
+    for statement in graph.objects(me, REPRO.rates):
+        product = graph.value(subject=statement, predicate=REPRO.product)
+        value_term = graph.value(subject=statement, predicate=REPRO.value)
+        if product is None:
+            issues.append(
+                Issue("rating-missing-product", f"statement {statement.n3()}")
+            )
+        if value_term is None:
+            issues.append(
+                Issue("rating-missing-value", f"statement {statement.n3()}")
+            )
+            continue
+        value = _numeric_value(value_term)
+        if value is None:
+            issues.append(
+                Issue("rating-non-numeric", f"statement {statement.n3()}")
+            )
+        elif not -1.0 <= value <= 1.0:
+            issues.append(
+                Issue(
+                    "rating-out-of-range",
+                    f"statement {statement.n3()} value {value}",
+                )
+            )
+
+    # Foreign-subject statements: trust/rating triples anchored at any
+    # URI other than the principal are the forgery pattern.
+    foreign: set[str] = set()
+    for predicate in (TRUST.trusts, REPRO.rates):
+        for subject, _, _ in graph.triples((None, predicate, None)):
+            if isinstance(subject, URIRef) and subject != me:
+                foreign.add(str(subject))
+    for subject in sorted(foreign):
+        issues.append(
+            Issue(
+                "foreign-subject-statements",
+                f"statements anchored at non-principal <{subject}>",
+            )
+        )
+    return issues

@@ -1,0 +1,26 @@
+"""Trust metrics substrate: the web of trust and group/scalar metrics."""
+
+from .advogato import Advogato, AdvogatoResult
+from .appleseed import Appleseed, AppleseedResult
+from .graph import TrustGraph
+from .maxflow import FlowNetwork
+from .pagerank import PageRankResult, PersonalizedPageRank
+from .scalar import (
+    horizon_average_trust,
+    multiplicative_path_trust,
+    scalar_neighborhood,
+)
+
+__all__ = [
+    "Advogato",
+    "AdvogatoResult",
+    "Appleseed",
+    "AppleseedResult",
+    "FlowNetwork",
+    "PageRankResult",
+    "PersonalizedPageRank",
+    "TrustGraph",
+    "horizon_average_trust",
+    "multiplicative_path_trust",
+    "scalar_neighborhood",
+]

@@ -1,0 +1,185 @@
+"""The web of trust: a sparse directed graph of signed trust statements.
+
+Every agent ``a_i`` contributes a partial trust function ``t_i`` (§3.1);
+collectively these form a directed, weighted graph with weights in
+``[-1, +1]``.  Positive weights denote trust, negative explicit distrust,
+values near zero weak trust.  The graph is the substrate both group trust
+metrics (Appleseed, Advogato) operate on.
+
+Because the Semantic Web scenario forbids global knowledge, the class also
+supports *partial exploration*: :meth:`within_horizon` materializes only
+the ball of a bounded radius around a source agent, which is exactly how
+Appleseed "operates on partial trust graph information, exploring the
+social network within predefined ranges only" (§3.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Optional
+
+from ..core.models import validate_score
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..core.models import Dataset
+
+__all__ = ["TrustGraph"]
+
+
+class TrustGraph:
+    """Directed graph of trust statements with O(1) neighbor access.
+
+    Edges carry a single weight; re-adding an edge overwrites (a newer
+    published trust statement supersedes the old one).  Nodes exist as
+    soon as they appear on either end of an edge or are added explicitly,
+    so agents that state no trust and receive none can still be queried.
+    """
+
+    def __init__(self) -> None:
+        self._succ: dict[str, dict[str, float]] = {}
+        self._pred: dict[str, dict[str, float]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: str) -> None:
+        """Ensure *node* exists (idempotent)."""
+        if not node:
+            raise ValueError("node identifier must be non-empty")
+        self._succ.setdefault(node, {})
+        self._pred.setdefault(node, {})
+
+    def add_edge(self, source: str, target: str, weight: float) -> None:
+        """State ``t_source(target) = weight``; overwrites a prior statement."""
+        if source == target:
+            raise ValueError("self-trust edges are not allowed")
+        weight = validate_score(weight, "trust weight")
+        self.add_node(source)
+        self.add_node(target)
+        self._succ[source][target] = weight
+        self._pred[target][source] = weight
+
+    def remove_edge(self, source: str, target: str) -> None:
+        """Retract a trust statement; missing edges raise :class:`KeyError`."""
+        del self._succ[source][target]
+        del self._pred[target][source]
+
+    @classmethod
+    def from_dataset(cls, dataset: "Dataset") -> "TrustGraph":
+        """Build the community trust graph from a :class:`Dataset`."""
+        graph = cls()
+        for agent in dataset.agents:
+            graph.add_node(agent)
+        for statement in dataset.iter_trust():
+            graph.add_edge(statement.source, statement.target, statement.value)
+        return graph
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[str, str, float]]) -> "TrustGraph":
+        """Build a graph from ``(source, target, weight)`` tuples."""
+        graph = cls()
+        for source, target, weight in edges:
+            graph.add_edge(source, target, weight)
+        return graph
+
+    # -- accessors -----------------------------------------------------------
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def nodes(self) -> Iterator[str]:
+        return iter(self._succ)
+
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self._succ.values())
+
+    def edges(self) -> Iterator[tuple[str, str, float]]:
+        for source, targets in self._succ.items():
+            for target, weight in targets.items():
+                yield (source, target, weight)
+
+    def weight(self, source: str, target: str) -> Optional[float]:
+        """The stated trust weight, or ``None`` for ⊥ (no statement)."""
+        return self._succ.get(source, {}).get(target)
+
+    def successors(self, node: str) -> Mapping[str, float]:
+        """All outgoing statements of *node* (read-only view semantics)."""
+        return self._succ.get(node, {})
+
+    def predecessors(self, node: str) -> Mapping[str, float]:
+        """All incoming statements about *node*."""
+        return self._pred.get(node, {})
+
+    def positive_successors(self, node: str) -> dict[str, float]:
+        """Outgoing statements with strictly positive weight.
+
+        Group trust metrics propagate along trust, never along distrust;
+        a negative statement must not lend its target any energy.
+        """
+        return {t: w for t, w in self._succ.get(node, {}).items() if w > 0.0}
+
+    def out_degree(self, node: str) -> int:
+        return len(self._succ.get(node, {}))
+
+    def in_degree(self, node: str) -> int:
+        return len(self._pred.get(node, {}))
+
+    # -- partial exploration ----------------------------------------------------
+
+    def within_horizon(self, source: str, max_depth: int) -> "TrustGraph":
+        """The sub-graph reachable from *source* within *max_depth* hops.
+
+        Only edges between discovered nodes are retained.  Traversal
+        follows positive edges (distrust does not extend one's horizon)
+        but negative edges *between* discovered nodes are kept so distrust
+        post-processing still sees them.
+        """
+        if max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+        if source not in self._succ:
+            raise KeyError(f"unknown source agent {source!r}")
+        depth = {source: 0}
+        queue: deque[str] = deque([source])
+        while queue:
+            node = queue.popleft()
+            if depth[node] >= max_depth:
+                continue
+            for target in self.positive_successors(node):
+                if target not in depth:
+                    depth[target] = depth[node] + 1
+                    queue.append(target)
+        subgraph = TrustGraph()
+        for node in depth:
+            subgraph.add_node(node)
+        for node in depth:
+            for target, weight in self._succ[node].items():
+                if target in depth:
+                    subgraph.add_edge(node, target, weight)
+        return subgraph
+
+    def bfs_levels(self, source: str) -> dict[str, int]:
+        """Shortest positive-path hop distance from *source* to each node.
+
+        Used by Advogato's level-based capacity assignment.
+        """
+        if source not in self._succ:
+            raise KeyError(f"unknown source agent {source!r}")
+        levels = {source: 0}
+        queue: deque[str] = deque([source])
+        while queue:
+            node = queue.popleft()
+            for target in self.positive_successors(node):
+                if target not in levels:
+                    levels[target] = levels[node] + 1
+                    queue.append(target)
+        return levels
+
+    def reachable_from(self, source: str) -> set[str]:
+        """Nodes reachable from *source* along positive edges (incl. source)."""
+        return set(self.bfs_levels(source))
+
+    def __repr__(self) -> str:
+        return f"TrustGraph(nodes={len(self)}, edges={self.edge_count()})"

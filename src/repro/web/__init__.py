@@ -1,0 +1,33 @@
+"""Simulated decentralized Web: hosting, crawling, local replicas."""
+
+from .freshness import FreshnessPolicy, plan_refresh
+from .crawler import CrawlReport, Crawler, publish_community
+from .network import FetchResult, SimulatedWeb, WebError
+from .replicator import (
+    CommunityReplicator,
+    ReplicationReport,
+    publish_split_community,
+)
+from .storage import DocumentStore, StoredDocument
+from .weblog import LinkMiner, WeblogPost, publish_weblogs, render_weblog, weblog_uri
+
+__all__ = [
+    "CommunityReplicator",
+    "CrawlReport",
+    "Crawler",
+    "DocumentStore",
+    "FetchResult",
+    "FreshnessPolicy",
+    "LinkMiner",
+    "ReplicationReport",
+    "SimulatedWeb",
+    "StoredDocument",
+    "WebError",
+    "WeblogPost",
+    "plan_refresh",
+    "publish_community",
+    "publish_split_community",
+    "publish_weblogs",
+    "render_weblog",
+    "weblog_uri",
+]

@@ -1,0 +1,317 @@
+"""A link-following crawler over the simulated Web.
+
+The paper's infrastructure keeps local replicas fresh through "tailored
+crawlers [that] search the Web for weblogs and ensure data freshness"
+(§4.1).  The crawler here walks ``foaf:knows`` links breadth-first from
+seed agents, honours a per-crawl *fetch budget* (politeness / cost bound),
+records parse failures without aborting, and supports *refresh* passes
+that re-fetch only documents whose live version advanced (conditional-GET
+semantics via cheap version probes).
+
+Together with :class:`~repro.web.network.SimulatedWeb` and
+:class:`~repro.web.storage.DocumentStore` this closes the decentralized
+loop: publish → crawl → assemble partial dataset → recommend locally.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..semweb.foaf import (
+    parse_agent_homepage,
+    publish_agent,
+    publish_catalog,
+    publish_taxonomy,
+)
+from ..semweb.namespace import FOAF
+from ..semweb.rdf import URIRef
+from ..semweb.serializer import ParseError, parse_ntriples, serialize_ntriples
+from .network import SimulatedWeb, WebError
+from .storage import DocumentStore
+
+__all__ = ["CrawlReport", "Crawler", "publish_community"]
+
+#: Default URIs of the globally accessible documents (§3.1: the taxonomy,
+#: product set and descriptor assignment "must hold globally").
+DEFAULT_TAXONOMY_URI = "http://repro.example.org/docs/taxonomy"
+DEFAULT_CATALOG_URI = "http://repro.example.org/docs/catalog"
+
+
+@dataclass(frozen=True, slots=True)
+class CrawlReport:
+    """Outcome of one crawl, refresh, or global-document pass."""
+
+    fetched: int
+    discovered: int
+    missing: tuple[str, ...]
+    parse_failures: tuple[str, ...]
+    budget_exhausted: bool
+    frontier_left: tuple[str, ...] = ()
+
+
+@dataclass
+class Crawler:
+    """Breadth-first FOAF crawler with budget and freshness control.
+
+    ``clock`` advances by one per pass and stamps every stored document,
+    so staleness is measurable in passes as well as document versions.
+    """
+
+    web: SimulatedWeb
+    store: DocumentStore = field(default_factory=DocumentStore)
+    clock: int = 0
+
+    #: Path-trust assigned to a bare ``foaf:knows`` link with no explicit
+    #: trust statement, and the floor for distrusted/zero-weight edges.
+    DEFAULT_LINK_TRUST = 0.25
+
+    def crawl(
+        self,
+        seeds: list[str],
+        budget: int | None = None,
+        max_depth: int | None = None,
+        prioritize_by_trust: bool = False,
+    ) -> CrawlReport:
+        """Crawl agent homepages from *seeds*, following ``foaf:knows``.
+
+        Already-replicated, still-fresh documents cost no fetch; link
+        extraction still runs on them so the frontier stays complete.
+        *budget* bounds the number of fetches, not of visited URIs.
+
+        With ``prioritize_by_trust`` the frontier becomes a best-first
+        queue ordered by *path trust* — the product of stated trust
+        values along the discovery path — so a budgeted crawl spends its
+        fetches on the most-trusted region first.  This matters exactly
+        when budgets bind: the trust neighborhood the recommender needs
+        is the high-trust region (EX11 measures the difference).
+        """
+        if budget is not None and budget < 0:
+            raise ValueError("budget must be non-negative")
+        self.clock += 1
+        fetched = 0
+        discovered = 0
+        missing: list[str] = []
+        parse_failures: list[str] = []
+        budget_exhausted = False
+
+        queue: deque[tuple[str, int]] = deque()
+        heap: list[tuple[float, int, str, int]] = []
+        tiebreak = itertools.count()
+        best_trust: dict[str, float] = {}
+        settled: set[str] = set()
+        enqueued: set[str] = set(seeds)
+        for uri in seeds:
+            best_trust[uri] = 1.0
+            if prioritize_by_trust:
+                heapq.heappush(heap, (-1.0, next(tiebreak), uri, 0))
+            else:
+                queue.append((uri, 0))
+
+        while heap if prioritize_by_trust else queue:
+            if prioritize_by_trust:
+                negative_trust, _, uri, depth = heapq.heappop(heap)
+                path_trust = -negative_trust
+                # Edge trust <= 1 makes this a max-product Dijkstra: the
+                # first pop of a URI carries its best path trust; later
+                # heap entries for it are stale.
+                if uri in settled:
+                    continue
+            else:
+                uri, depth = queue.popleft()
+                path_trust = best_trust.get(uri, 1.0)
+
+            replica = self.store.get(uri)
+            is_stale = replica is None or self.web.version(uri) > replica.version
+            if is_stale:
+                if budget is not None and fetched >= budget:
+                    budget_exhausted = True
+                    if prioritize_by_trust:
+                        heapq.heappush(heap, (-path_trust, next(tiebreak), uri, depth))
+                    else:
+                        queue.appendleft((uri, depth))
+                    break
+                if not self._fetch_into_store(uri, "agent", missing, parse_failures):
+                    settled.add(uri)
+                    continue
+                fetched += 1
+                replica = self.store.get(uri)
+            settled.add(uri)
+            assert replica is not None
+            if max_depth is not None and depth >= max_depth:
+                continue
+            for neighbor, weight in self._extract_weighted_links(
+                uri, replica.body, parse_failures
+            ):
+                edge_trust = max(weight, self.DEFAULT_LINK_TRUST)
+                neighbor_trust = path_trust * edge_trust
+                if neighbor not in enqueued:
+                    enqueued.add(neighbor)
+                    discovered += 1
+                if prioritize_by_trust:
+                    if (
+                        neighbor not in settled
+                        and neighbor_trust > best_trust.get(neighbor, 0.0)
+                    ):
+                        best_trust[neighbor] = neighbor_trust
+                        heapq.heappush(
+                            heap,
+                            (-neighbor_trust, next(tiebreak), neighbor, depth + 1),
+                        )
+                elif neighbor not in best_trust:
+                    # Plain BFS enqueues each URI exactly once.
+                    best_trust[neighbor] = neighbor_trust
+                    queue.append((neighbor, depth + 1))
+
+        if prioritize_by_trust:
+            left = {uri for _, _, uri, _ in heap if uri not in settled}
+            frontier_left = tuple(sorted(left))
+        else:
+            frontier_left = tuple(uri for uri, _ in queue)
+        return CrawlReport(
+            fetched=fetched,
+            discovered=discovered,
+            missing=tuple(missing),
+            parse_failures=tuple(sorted(set(parse_failures))),
+            budget_exhausted=budget_exhausted,
+            frontier_left=frontier_left,
+        )
+
+    def refresh(self, budget: int | None = None) -> CrawlReport:
+        """Re-fetch replicated agent documents whose live version advanced."""
+        self.clock += 1
+        fetched = 0
+        missing: list[str] = []
+        parse_failures: list[str] = []
+        budget_exhausted = False
+        for uri in sorted(self.store.uris(kind="agent")):
+            document = self.store.get(uri)
+            assert document is not None
+            if self.web.version(uri) <= document.version:
+                continue
+            if budget is not None and fetched >= budget:
+                budget_exhausted = True
+                break
+            if self._fetch_into_store(uri, "agent", missing, parse_failures):
+                fetched += 1
+        return CrawlReport(
+            fetched=fetched,
+            discovered=0,
+            missing=tuple(missing),
+            parse_failures=tuple(sorted(set(parse_failures))),
+            budget_exhausted=budget_exhausted,
+        )
+
+    def fetch_global_documents(
+        self,
+        taxonomy_uri: str = DEFAULT_TAXONOMY_URI,
+        catalog_uri: str = DEFAULT_CATALOG_URI,
+    ) -> CrawlReport:
+        """Fetch the globally accessible taxonomy and catalog documents."""
+        self.clock += 1
+        missing: list[str] = []
+        parse_failures: list[str] = []
+        fetched = 0
+        for uri, kind in ((taxonomy_uri, "taxonomy"), (catalog_uri, "catalog")):
+            if self._fetch_into_store(uri, kind, missing, parse_failures):
+                fetched += 1
+        return CrawlReport(
+            fetched=fetched,
+            discovered=0,
+            missing=tuple(missing),
+            parse_failures=tuple(parse_failures),
+            budget_exhausted=False,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _extract_links(
+        self, uri: str, body: str, parse_failures: list[str]
+    ) -> list[str]:
+        return [
+            target
+            for target, _ in self._extract_weighted_links(uri, body, parse_failures)
+        ]
+
+    def _extract_weighted_links(
+        self, uri: str, body: str, parse_failures: list[str]
+    ) -> list[tuple[str, float]]:
+        """``(target, trust weight)`` pairs from a homepage document.
+
+        ``foaf:knows`` links without an accompanying trust statement get
+        weight 0.0 (the caller applies :attr:`DEFAULT_LINK_TRUST` as the
+        floor); reified trust statements supply their stated value.
+        """
+        from ..semweb.namespace import TRUST
+        from ..semweb.rdf import Literal
+
+        try:
+            graph = parse_ntriples(body)
+        except ParseError:
+            parse_failures.append(uri)
+            return []
+        weights: dict[str, float] = {
+            str(obj): 0.0
+            for _, _, obj in graph.triples((None, FOAF.knows, None))
+            if isinstance(obj, URIRef)
+        }
+        for _, _, statement in graph.triples((None, TRUST.trusts, None)):
+            target = graph.value(subject=statement, predicate=TRUST.target)
+            value = graph.value(subject=statement, predicate=TRUST.value)
+            if isinstance(target, URIRef) and isinstance(value, Literal):
+                try:
+                    weights[str(target)] = float(value.to_python())
+                except (TypeError, ValueError):
+                    continue
+        return sorted(weights.items())
+
+    def _fetch_into_store(
+        self,
+        uri: str,
+        kind: str,
+        missing: list[str],
+        parse_failures: list[str],
+    ) -> bool:
+        try:
+            result = self.web.fetch(uri)
+        except WebError:
+            missing.append(uri)
+            return False
+        if kind == "agent":
+            try:
+                parse_agent_homepage(parse_ntriples(result.body))
+            except (ParseError, ValueError):
+                # Store anyway: assembly will skip it, a later refresh may
+                # pick up a repaired version.
+                parse_failures.append(uri)
+        self.store.put(
+            uri=uri,
+            body=result.body,
+            version=result.version,
+            fetched_at=self.clock,
+            kind=kind,
+        )
+        return True
+
+
+def publish_community(
+    web: SimulatedWeb,
+    dataset,
+    taxonomy,
+    taxonomy_uri: str = DEFAULT_TAXONOMY_URI,
+    catalog_uri: str = DEFAULT_CATALOG_URI,
+) -> tuple[str, str]:
+    """Publish a whole community onto *web*.
+
+    One homepage document per agent (at the agent's own URI) plus the two
+    globally shared documents.  Returns ``(taxonomy_uri, catalog_uri)``.
+    """
+    for uri in sorted(dataset.agents):
+        agent = dataset.agents[uri]
+        graph = publish_agent(agent, dataset.trust_of(uri), dataset.ratings_of(uri))
+        web.publish(uri, serialize_ntriples(graph))
+    web.publish(taxonomy_uri, serialize_ntriples(publish_taxonomy(taxonomy)))
+    web.publish(catalog_uri, serialize_ntriples(publish_catalog(dataset.products)))
+    return taxonomy_uri, catalog_uri

@@ -1,0 +1,78 @@
+"""Recrawl scheduling: which replicas to refresh under a fetch budget.
+
+"Tailored crawlers search the Web for weblogs and ensure data freshness"
+(§4.1) — but a real crawler never has the budget to re-fetch everything,
+so it must *choose*.  :class:`FreshnessPolicy` ranks the replica's
+documents for refreshing; :func:`plan_refresh` applies a policy and a
+budget to a :class:`~repro.web.storage.DocumentStore` and returns the
+fetch list.  Policies are deliberately cheap heuristics over metadata
+the store already has (no content inspection):
+
+* ``oldest_first`` — refresh the longest-unvisited documents (age-based,
+  the classic freshness heuristic);
+* ``round_robin`` — deterministic rotation keyed by the pass number, so
+  every document is refreshed once per full cycle regardless of budget;
+* ``stale_first`` — probe live versions (cheap HEAD-style calls) and
+  refresh only documents whose version actually advanced, oldest lag
+  first.  Costs one probe per document but never wastes a fetch.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from .network import SimulatedWeb
+from .storage import DocumentStore
+
+__all__ = ["FreshnessPolicy", "plan_refresh"]
+
+PolicyName = Literal["oldest_first", "round_robin", "stale_first"]
+
+
+class FreshnessPolicy:
+    """Ranks replicated documents for refreshing (see module docstring)."""
+
+    def __init__(self, name: PolicyName = "oldest_first") -> None:
+        if name not in ("oldest_first", "round_robin", "stale_first"):
+            raise ValueError(f"unknown freshness policy {name!r}")
+        self.name = name
+
+    def order(
+        self,
+        store: DocumentStore,
+        web: SimulatedWeb,
+        pass_number: int = 0,
+        kind: str | None = "agent",
+    ) -> list[str]:
+        """All candidate URIs, most refresh-worthy first."""
+        uris = sorted(store.uris(kind=kind))
+        if not uris:
+            return []
+        if self.name == "oldest_first":
+            return sorted(
+                uris, key=lambda uri: (store.get(uri).fetched_at, uri)
+            )
+        if self.name == "round_robin":
+            offset = pass_number % len(uris)
+            return uris[offset:] + uris[:offset]
+        # stale_first: probe versions, keep only actually-stale documents.
+        staleness = {
+            uri: store.staleness(uri, web.version(uri)) for uri in uris
+        }
+        stale = [uri for uri in uris if staleness[uri] > 0]
+        return sorted(stale, key=lambda uri: (-staleness[uri], uri))
+
+
+def plan_refresh(
+    store: DocumentStore,
+    web: SimulatedWeb,
+    budget: int,
+    policy: FreshnessPolicy | None = None,
+    pass_number: int = 0,
+    kind: str | None = "agent",
+) -> list[str]:
+    """The URIs one refresh pass should fetch, at most *budget* of them."""
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    policy = policy or FreshnessPolicy()
+    return policy.order(store, web, pass_number=pass_number, kind=kind)[:budget]

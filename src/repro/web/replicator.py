@@ -1,0 +1,137 @@
+"""The full §4 deployment: split-channel publishing and one-call replication.
+
+§4 separates the two information channels:
+
+* **FOAF homepages** carry identity and *trust* statements (plus the
+  ``foaf:knows`` links crawlers walk) — "FOAF defines machine-readable
+  homepages based upon RDF and allows weaving acquaintance networks",
+  with Golbeck's extension adding real trust values;
+* **weblogs** carry *ratings* — "those [hyperlinks] referring to product
+  pages from large catalogs like Amazon count as implicit votes".
+
+:func:`publish_split_community` hosts a community in exactly that shape:
+rating-free homepages, one weblog per agent, plus the two global
+documents.  :class:`CommunityReplicator` is the consumer side: it crawls
+homepages for the trust graph, fetches and mines each discovered agent's
+weblog, and assembles the combined partial dataset the recommender runs
+on — the complete decentralized loop in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.models import Dataset
+from ..core.taxonomy import Taxonomy
+from ..semweb.foaf import publish_agent, publish_catalog, publish_taxonomy
+from ..semweb.serializer import serialize_ntriples
+from .crawler import DEFAULT_CATALOG_URI, DEFAULT_TAXONOMY_URI, Crawler
+from .network import SimulatedWeb, WebError
+from .storage import DocumentStore
+from .weblog import LinkMiner, publish_weblogs, weblog_uri
+
+__all__ = ["CommunityReplicator", "ReplicationReport", "publish_split_community"]
+
+
+def publish_split_community(
+    web: SimulatedWeb,
+    dataset: Dataset,
+    taxonomy: Taxonomy,
+    taxonomy_uri: str = DEFAULT_TAXONOMY_URI,
+    catalog_uri: str = DEFAULT_CATALOG_URI,
+) -> tuple[str, str]:
+    """Host a community with trust and ratings on separate channels.
+
+    Homepages carry trust statements only (no ``repro:rates`` triples);
+    ratings are rendered into each agent's weblog.  Returns the URIs of
+    the global taxonomy and catalog documents.
+    """
+    for uri in sorted(dataset.agents):
+        agent = dataset.agents[uri]
+        graph = publish_agent(agent, dataset.trust_of(uri), ratings={})
+        web.publish(uri, serialize_ntriples(graph))
+    publish_weblogs(web, dataset)
+    web.publish(taxonomy_uri, serialize_ntriples(publish_taxonomy(taxonomy)))
+    web.publish(catalog_uri, serialize_ntriples(publish_catalog(dataset.products)))
+    return taxonomy_uri, catalog_uri
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicationReport:
+    """Outcome of one :meth:`CommunityReplicator.replicate` pass."""
+
+    homepage_fetches: int
+    weblog_fetches: int
+    weblogs_missing: tuple[str, ...]
+    parse_failures: tuple[str, ...]
+    mined_ratings: int
+    unmapped_links: int
+    budget_exhausted: bool
+
+
+@dataclass
+class CommunityReplicator:
+    """Crawl homepages + mine weblogs into one recommendable dataset."""
+
+    web: SimulatedWeb
+    store: DocumentStore = field(default_factory=DocumentStore)
+
+    def replicate(
+        self,
+        seeds: list[str],
+        budget: int | None = None,
+        taxonomy_uri: str = DEFAULT_TAXONOMY_URI,
+        catalog_uri: str = DEFAULT_CATALOG_URI,
+    ) -> tuple[Dataset, Taxonomy, ReplicationReport]:
+        """Run the full consumer-side loop from *seeds*.
+
+        *budget*, when given, bounds the number of *homepage* fetches;
+        weblogs are fetched one per successfully replicated homepage
+        (they are cheap, targeted requests, not frontier exploration).
+        Returns the assembled partial dataset (trust from homepages,
+        ratings from weblogs), the shared taxonomy, and a report.
+        """
+        crawler = Crawler(web=self.web, store=self.store)
+        crawler.fetch_global_documents(taxonomy_uri, catalog_uri)
+        crawl_report = crawler.crawl(seeds, budget=budget)
+
+        dataset, assembly_failures = self.store.assemble_dataset()
+        taxonomy = self.store.assemble_taxonomy()
+        if taxonomy is None:
+            raise WebError(taxonomy_uri)
+
+        miner = LinkMiner(known_products=frozenset(dataset.products))
+        weblog_fetches = 0
+        weblogs_missing: list[str] = []
+        mined = 0
+        for agent_uri in sorted(dataset.agents):
+            log_uri = weblog_uri(agent_uri)
+            try:
+                result = self.web.fetch(log_uri)
+            except WebError:
+                weblogs_missing.append(log_uri)
+                continue
+            weblog_fetches += 1
+            self.store.put(
+                uri=log_uri,
+                body=result.body,
+                version=result.version,
+                fetched_at=crawler.clock,
+                kind="weblog",
+            )
+            for rating in miner.mine(agent_uri, result.body):
+                dataset.add_rating(rating)
+                mined += 1
+
+        report = ReplicationReport(
+            homepage_fetches=crawl_report.fetched,
+            weblog_fetches=weblog_fetches,
+            weblogs_missing=tuple(weblogs_missing),
+            parse_failures=tuple(
+                sorted(set(crawl_report.parse_failures) | set(assembly_failures))
+            ),
+            mined_ratings=mined,
+            unmapped_links=len(miner.unmapped),
+            budget_exhausted=crawl_report.budget_exhausted,
+        )
+        return dataset, taxonomy, report

@@ -1,0 +1,184 @@
+"""The crawler's local replica: an embedded document store.
+
+"Tailored crawlers search the Web for weblogs and ensure data freshness"
+(§4.1).  The store keeps the fetched documents (raw text plus version and
+fetch tick), parses them on demand, and assembles the partial
+:class:`~repro.core.models.Dataset` the recommender computes from — which
+is the paper's central architectural point: recommendations are computed
+*locally* from a replica, never against the live Web.
+
+The store persists to JSON lines so a crawl can be resumed across
+processes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.models import Dataset, Product
+from ..core.taxonomy import Taxonomy
+from ..semweb.foaf import parse_agent_homepage, parse_catalog, parse_taxonomy
+from ..semweb.serializer import ParseError, parse_ntriples
+
+__all__ = ["DocumentStore", "StoredDocument"]
+
+
+@dataclass(frozen=True, slots=True)
+class StoredDocument:
+    """One replicated document with its provenance metadata."""
+
+    uri: str
+    body: str
+    version: int
+    fetched_at: int
+
+
+class DocumentStore:
+    """URI-keyed replica of fetched documents with dataset assembly.
+
+    ``kind`` hints ("agent", "taxonomy", "catalog", "weblog") are
+    recorded at put time by the crawler so assembly does not have to
+    sniff document contents.  Weblog documents are opaque to
+    :meth:`assemble_dataset` (they are HTML, not RDF); the replicator
+    mines them separately via :class:`repro.web.weblog.LinkMiner`.
+    """
+
+    def __init__(self) -> None:
+        self._documents: dict[str, StoredDocument] = {}
+        self._kinds: dict[str, str] = {}
+
+    # -- replica maintenance ---------------------------------------------------
+
+    def put(
+        self,
+        uri: str,
+        body: str,
+        version: int,
+        fetched_at: int,
+        kind: str = "agent",
+    ) -> None:
+        """Store (or refresh) the replica of *uri*."""
+        if kind not in ("agent", "taxonomy", "catalog", "weblog"):
+            raise ValueError(f"unknown document kind {kind!r}")
+        self._documents[uri] = StoredDocument(
+            uri=uri, body=body, version=version, fetched_at=fetched_at
+        )
+        self._kinds[uri] = kind
+
+    def get(self, uri: str) -> StoredDocument | None:
+        return self._documents.get(uri)
+
+    def kind(self, uri: str) -> str | None:
+        return self._kinds.get(uri)
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def uris(self, kind: str | None = None) -> Iterator[str]:
+        """URIs in the replica, optionally filtered by document kind."""
+        for uri in self._documents:
+            if kind is None or self._kinds.get(uri) == kind:
+                yield uri
+
+    def staleness(self, uri: str, live_version: int) -> int:
+        """Versions the replica of *uri* lags behind *live_version*."""
+        document = self._documents.get(uri)
+        if document is None:
+            return live_version
+        return max(0, live_version - document.version)
+
+    # -- dataset assembly ----------------------------------------------------------
+
+    def assemble_dataset(self) -> tuple[Dataset, list[str]]:
+        """Parse every replicated document into one partial :class:`Dataset`.
+
+        Returns ``(dataset, failures)`` where *failures* lists URIs whose
+        documents failed to parse (they are skipped, as a real crawler
+        must).  Trust statements pointing at agents whose homepages were
+        never crawled are kept — the trust metrics simply see them as
+        fringe nodes — but ratings of unknown products are kept too, since
+        the catalog document may legitimately lag the community.  The
+        returned dataset is therefore *not* validated.
+        """
+        dataset = Dataset()
+        failures: list[str] = []
+        for uri in sorted(self.uris(kind="catalog")):
+            products = self._parse_catalog(uri, failures)
+            for product in products.values():
+                dataset.add_product(product)
+        for uri in sorted(self.uris(kind="agent")):
+            document = self._documents[uri]
+            try:
+                graph = parse_ntriples(document.body)
+                agent, trust, ratings = parse_agent_homepage(graph)
+            except (ParseError, ValueError):
+                failures.append(uri)
+                continue
+            dataset.add_agent(agent)
+            for statement in trust:
+                dataset.add_trust(statement)
+            for rating in ratings:
+                dataset.add_rating(rating)
+        return dataset, failures
+
+    def assemble_taxonomy(self) -> Taxonomy | None:
+        """Parse the replicated taxonomy document, if any."""
+        for uri in sorted(self.uris(kind="taxonomy")):
+            document = self._documents[uri]
+            try:
+                return parse_taxonomy(parse_ntriples(document.body))
+            except (ParseError, ValueError):
+                continue
+        return None
+
+    def _parse_catalog(self, uri: str, failures: list[str]) -> dict[str, Product]:
+        document = self._documents[uri]
+        try:
+            return parse_catalog(parse_ntriples(document.body))
+        except (ParseError, ValueError):
+            failures.append(uri)
+            return {}
+
+    # -- persistence ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist the replica as JSON lines (deterministic order)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for uri in sorted(self._documents):
+                document = self._documents[uri]
+                record = {
+                    "uri": document.uri,
+                    "body": document.body,
+                    "version": document.version,
+                    "fetched_at": document.fetched_at,
+                    "kind": self._kinds[uri],
+                }
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DocumentStore":
+        """Restore a replica saved by :meth:`save`."""
+        store = cls()
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                store.put(
+                    uri=record["uri"],
+                    body=record["body"],
+                    version=int(record["version"]),
+                    fetched_at=int(record["fetched_at"]),
+                    kind=record.get("kind", "agent"),
+                )
+        return store

@@ -1,0 +1,202 @@
+"""Weblog mining: hyperlinks as implicit votes (§4).
+
+The paper's rating data does not come from rating forms — it is *mined*:
+
+  "some crawlers extract certain hyperlinks from weblogs and analyze
+   their makeup and content.  Hereby, those referring to product pages
+   from large catalogs like Amazon count as implicit votes for these
+   goods.  Mappings between hyperlinks and some sort of unique
+   identifier are required … Unique identifiers exist for some product
+   groups like books, which are given ISBNs.  Efforts to enhance weblogs
+   with explicit, machine-readable rating information have also been
+   proposed … For instance, BLAM! allows creating book ratings and helps
+   embedding these into machine-readable weblogs."
+
+This module reproduces that pipeline:
+
+* :class:`WeblogPost` / :func:`render_weblog` — agents author HTML-ish
+  posts whose prose links to shop product pages, plus optional embedded
+  BLAM!-style explicit rating annotations;
+* :class:`LinkMiner` — extracts hyperlinks, maps recognized shop URLs to
+  ISBN identifiers (the hyperlink → unique-identifier mapping), converts
+  them into implicit ``+1.0`` ratings, and reads explicit annotations
+  when present (explicit beats implicit for the same product);
+* :func:`publish_weblogs` — hosts one weblog document per agent on the
+  simulated Web so a crawler can mine a whole community the way the
+  paper's crawlers mined All Consuming.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..core.models import Dataset, Rating
+
+__all__ = [
+    "LinkMiner",
+    "WeblogPost",
+    "publish_weblogs",
+    "render_weblog",
+    "weblog_uri",
+]
+
+#: Shop URL patterns the miner recognizes, mirroring the paper's Amazon
+#: example.  Each pattern captures the raw product key.
+SHOP_URL_PATTERNS = (
+    re.compile(r"https?://www\.amazon\.com/exec/obidos/ASIN/(\d{10,13})"),
+    re.compile(r"https?://www\.amazon\.com/dp/(\d{10,13})"),
+    re.compile(r"https?://shop\.example\.org/book/(\d{10,13})"),
+)
+
+#: BLAM!-style machine-readable rating annotation embedded in a post:
+#: <span class="blam-rating" data-isbn="isbn:..." data-value="0.8"></span>
+_BLAM_ANNOTATION = re.compile(
+    r'<span\s+class="blam-rating"\s+data-isbn="(?P<isbn>[^"]+)"'
+    r'\s+data-value="(?P<value>-?\d+(?:\.\d+)?)"\s*>\s*</span>'
+)
+
+_HYPERLINK = re.compile(r'<a\s+href="(?P<href>[^"]+)"\s*>(?P<anchor>[^<]*)</a>')
+
+
+@dataclass(frozen=True, slots=True)
+class WeblogPost:
+    """One diary entry: prose with product links and explicit ratings.
+
+    ``links`` are raw shop URLs mentioned in the prose; ``explicit``
+    maps product identifiers to BLAM!-style explicit rating values.
+    """
+
+    title: str
+    body: str = ""
+    links: tuple[str, ...] = ()
+    explicit: dict[str, float] = field(default_factory=dict)
+
+
+def product_page_url(identifier: str) -> str:
+    """The shop URL for a product identifier (``isbn:<digits>``).
+
+    Inverse of the miner's URL → identifier mapping; used by the
+    publisher to embed realistic hyperlinks.
+    """
+    digits = identifier.split(":", 1)[-1]
+    return f"https://www.amazon.com/dp/{digits}"
+
+
+def render_weblog(author_name: str, posts: list[WeblogPost]) -> str:
+    """Render posts into the HTML-ish document a crawler would fetch."""
+    lines = ["<html><head>", f"<title>{author_name}'s weblog</title>", "</head><body>"]
+    for post in posts:
+        lines.append(f"<h2>{post.title}</h2>")
+        if post.body:
+            lines.append(f"<p>{post.body}</p>")
+        for url in post.links:
+            lines.append(f'<p>Currently reading: <a href="{url}">this book</a></p>')
+        for identifier in sorted(post.explicit):
+            value = post.explicit[identifier]
+            lines.append(
+                f'<span class="blam-rating" data-isbn="{identifier}" '
+                f'data-value="{value}"></span>'
+            )
+    lines.append("</body></html>")
+    return "\n".join(lines)
+
+
+@dataclass
+class LinkMiner:
+    """Extracts implicit and explicit ratings from a weblog document.
+
+    ``known_products`` restricts mining to the shared catalog: a link to
+    an unknown ISBN is recorded in :attr:`unmapped` instead of producing
+    a rating (the mapping problem the paper mentions — "mappings between
+    hyperlinks and some sort of unique identifier are required").
+    """
+
+    known_products: frozenset[str] = frozenset()
+    unmapped: list[str] = field(default_factory=list)
+
+    def extract_links(self, document: str) -> list[str]:
+        """All hyperlink targets in the document, in order."""
+        return [m.group("href") for m in _HYPERLINK.finditer(document)]
+
+    def map_to_identifier(self, url: str) -> str | None:
+        """Map a shop URL to an ``isbn:`` identifier, or ``None``."""
+        for pattern in SHOP_URL_PATTERNS:
+            match = pattern.match(url)
+            if match:
+                return f"isbn:{match.group(1)}"
+        return None
+
+    def mine(self, agent: str, document: str) -> list[Rating]:
+        """Mine *document* for ratings attributed to *agent*.
+
+        Hyperlinks to recognized product pages yield implicit ``+1.0``
+        votes; BLAM! annotations yield explicit values and override the
+        implicit vote for the same product.  Repeated links to one
+        product collapse into one rating.
+        """
+        ratings: dict[str, float] = {}
+        for url in self.extract_links(document):
+            identifier = self.map_to_identifier(url)
+            if identifier is None:
+                continue
+            if self.known_products and identifier not in self.known_products:
+                self.unmapped.append(identifier)
+                continue
+            ratings.setdefault(identifier, 1.0)
+        for match in _BLAM_ANNOTATION.finditer(document):
+            identifier = match.group("isbn")
+            if self.known_products and identifier not in self.known_products:
+                self.unmapped.append(identifier)
+                continue
+            try:
+                value = float(match.group("value"))
+            except ValueError:  # pragma: no cover - regex restricts format
+                continue
+            if -1.0 <= value <= 1.0:
+                ratings[identifier] = value
+        return [
+            Rating(agent=agent, product=product, value=value)
+            for product, value in sorted(ratings.items())
+        ]
+
+
+def weblog_uri(agent_uri: str) -> str:
+    """The canonical URI an agent's weblog is hosted at."""
+    return agent_uri.rstrip("/") + "/weblog"
+
+
+def publish_weblogs(web, dataset: Dataset, posts_per_log: int = 3) -> list[str]:
+    """Host one weblog per agent, rendering its ratings as product links.
+
+    Positive implicit ratings become hyperlinks; non-unit ratings become
+    BLAM! annotations.  Returns the hosted weblog URIs.  Together with
+    :class:`LinkMiner` this closes the §4 loop: what an agent rates is
+    recoverable from its published weblog alone.
+    """
+    uris: list[str] = []
+    for agent_uri in sorted(dataset.agents):
+        ratings = dataset.ratings_of(agent_uri)
+        implicit = [p for p, v in sorted(ratings.items()) if v == 1.0]
+        explicit = {p: v for p, v in ratings.items() if v != 1.0}
+        posts: list[WeblogPost] = []
+        chunk = max(1, (len(implicit) + posts_per_log - 1) // posts_per_log)
+        for index in range(0, len(implicit), chunk):
+            batch = implicit[index : index + chunk]
+            posts.append(
+                WeblogPost(
+                    title=f"Reading notes #{index // chunk + 1}",
+                    body="Some books I have been consuming lately.",
+                    links=tuple(product_page_url(p) for p in batch),
+                )
+            )
+        if explicit:
+            posts.append(
+                WeblogPost(title="Rated books", explicit=dict(explicit))
+            )
+        if not posts:
+            posts.append(WeblogPost(title="Hello world", body="Nothing yet."))
+        uri = weblog_uri(agent_uri)
+        web.publish(uri, render_weblog(str(dataset.agents[agent_uri]), posts))
+        uris.append(uri)
+    return uris

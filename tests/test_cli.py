@@ -1,0 +1,171 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    """A generated dataset + taxonomy snapshot on disk."""
+    data = tmp_path / "data.jsonl"
+    taxonomy = tmp_path / "taxonomy.jsonl"
+    code = main(
+        [
+            "generate",
+            "--agents", "50",
+            "--products", "100",
+            "--clusters", "4",
+            "--topics", "200",
+            "--seed", "5",
+            "--out", str(data),
+            "--taxonomy-out", str(taxonomy),
+        ]
+    )
+    assert code == 0
+    return data, taxonomy
+
+
+class TestGenerate:
+    def test_writes_both_files(self, snapshot, capsys):
+        data, taxonomy = snapshot
+        assert data.exists()
+        assert taxonomy.exists()
+
+    def test_deterministic(self, tmp_path):
+        paths = []
+        for name in ("a", "b"):
+            data = tmp_path / f"{name}.jsonl"
+            taxonomy = tmp_path / f"{name}-tax.jsonl"
+            main(
+                [
+                    "generate", "--agents", "30", "--products", "50",
+                    "--clusters", "3", "--topics", "150", "--seed", "9",
+                    "--out", str(data), "--taxonomy-out", str(taxonomy),
+                ]
+            )
+            paths.append((data, taxonomy))
+        assert paths[0][0].read_bytes() == paths[1][0].read_bytes()
+        assert paths[0][1].read_bytes() == paths[1][1].read_bytes()
+
+
+class TestInfo:
+    def test_prints_summary(self, snapshot, capsys):
+        data, _ = snapshot
+        assert main(["info", "--data", str(data)]) == 0
+        out = capsys.readouterr().out
+        assert "agents: 50" in out
+        assert "products: 100" in out
+        assert "trust_density" in out
+
+
+class TestRecommend:
+    def test_by_index(self, snapshot, capsys):
+        data, taxonomy = snapshot
+        code = main(
+            [
+                "recommend",
+                "--data", str(data),
+                "--taxonomy", str(taxonomy),
+                "--agent-index", "0",
+                "--limit", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "isbn:" in out
+
+    @pytest.mark.parametrize("method", ["cf", "trust", "popularity", "random"])
+    def test_methods(self, snapshot, capsys, method):
+        data, taxonomy = snapshot
+        code = main(
+            [
+                "recommend",
+                "--data", str(data),
+                "--taxonomy", str(taxonomy),
+                "--agent-index", "0",
+                "--method", method,
+                "--limit", "2",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_agent_errors(self, snapshot):
+        data, taxonomy = snapshot
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "recommend",
+                    "--data", str(data),
+                    "--taxonomy", str(taxonomy),
+                    "--agent", "ghost",
+                ]
+            )
+
+    def test_index_out_of_range(self, snapshot):
+        data, taxonomy = snapshot
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "recommend",
+                    "--data", str(data),
+                    "--taxonomy", str(taxonomy),
+                    "--agent-index", "999",
+                ]
+            )
+
+
+class TestTrust:
+    def test_appleseed(self, snapshot, capsys):
+        data, _ = snapshot
+        assert main(["trust", "--data", str(data), "--source-index", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "appleseed:" in out
+        assert "converged=True" in out
+
+    def test_advogato(self, snapshot, capsys):
+        data, _ = snapshot
+        code = main(
+            ["trust", "--data", str(data), "--source-index", "0",
+             "--metric", "advogato", "--top", "20"]
+        )
+        assert code == 0
+        assert "advogato:" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_ex01(self, capsys):
+        assert main(["experiment", "EX01"]) == 0
+        out = capsys.readouterr().out
+        assert "29.091" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "EX99"])
+
+
+class TestDemo:
+    def test_merged_channels(self, capsys):
+        code = main(["demo", "--agents", "30", "--products", "60", "--limit", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "published 32 documents (merged channels)" in out
+        assert "recommended because" in out
+
+    def test_split_channels(self, capsys):
+        code = main(
+            ["demo", "--agents", "30", "--products", "60", "--limit", "2",
+             "--split-channels"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "split channels" in out
+        assert "'mined_weblog_ratings'" in out
+
+
+class TestParser:
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

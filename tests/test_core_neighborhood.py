@@ -1,0 +1,87 @@
+"""Unit tests for trust neighborhood formation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.neighborhood import NeighborhoodFormation, normalize_ranks
+from repro.trust.appleseed import Appleseed
+from repro.trust.graph import TrustGraph
+
+
+def graph() -> TrustGraph:
+    return TrustGraph.from_edges(
+        [
+            ("s", "a", 1.0),
+            ("s", "b", 0.8),
+            ("a", "c", 0.9),
+            ("b", "c", 0.7),
+            ("c", "d", 0.6),
+        ]
+    )
+
+
+class TestNormalizeRanks:
+    def test_empty(self):
+        assert normalize_ranks({}) == {}
+
+    def test_peak_becomes_one(self):
+        normalized = normalize_ranks({"a": 4.0, "b": 2.0, "c": 1.0})
+        assert normalized == {"a": 1.0, "b": 0.5, "c": 0.25}
+
+    def test_all_zero(self):
+        assert normalize_ranks({"a": 0.0, "b": 0.0}) == {"a": 0.0, "b": 0.0}
+
+    def test_values_in_unit_interval(self):
+        normalized = normalize_ranks({"a": 123.4, "b": 0.002})
+        assert all(0.0 <= v <= 1.0 for v in normalized.values())
+
+
+class TestFormation:
+    def test_default_formation(self):
+        hood = NeighborhoodFormation().form(graph(), "s")
+        assert hood.source == "s"
+        assert {"a", "b", "c", "d"} == hood.members()
+        assert max(hood.normalized.values()) == pytest.approx(1.0)
+
+    def test_threshold_filters(self):
+        full = NeighborhoodFormation().form(graph(), "s")
+        cutoff = sorted(full.ranks.values())[-2]  # keep only the top peer
+        strict = NeighborhoodFormation(threshold=cutoff).form(graph(), "s")
+        assert len(strict) == 1
+
+    def test_max_peers_cut(self):
+        hood = NeighborhoodFormation(max_peers=2).form(graph(), "s")
+        assert len(hood) == 2
+        full = NeighborhoodFormation().form(graph(), "s")
+        top_two = {agent for agent, _ in full.top(2)}
+        assert hood.members() == top_two
+
+    def test_custom_metric(self):
+        metric = Appleseed(spreading_factor=0.5)
+        hood = NeighborhoodFormation(metric=metric).form(graph(), "s")
+        assert hood.metric_result is not None
+        assert hood.metric_result.converged
+
+    def test_contains_and_top(self):
+        hood = NeighborhoodFormation().form(graph(), "s")
+        assert "a" in hood
+        assert "ghost" not in hood
+        top = hood.top(1)
+        assert len(top) == 1
+        assert top[0][1] == max(hood.ranks.values())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NeighborhoodFormation(injection=0.0)
+        with pytest.raises(ValueError):
+            NeighborhoodFormation(threshold=-0.1)
+        with pytest.raises(ValueError):
+            NeighborhoodFormation(max_peers=0)
+
+    def test_isolated_source_empty_neighborhood(self):
+        g = TrustGraph()
+        g.add_node("alone")
+        hood = NeighborhoodFormation().form(g, "alone")
+        assert len(hood) == 0
+        assert hood.normalized == {}

@@ -1,0 +1,111 @@
+"""Unit tests for rating prediction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Agent, Dataset, Product, Rating
+from repro.core.prediction import RatingPredictor, predict_rating
+
+
+def _dataset() -> Dataset:
+    dataset = Dataset()
+    for name in ("me", "p1", "p2", "p3"):
+        dataset.add_agent(Agent(uri=name))
+    for identifier in ("b1", "b2", "b3"):
+        dataset.add_product(Product(identifier=identifier))
+    ratings = [
+        ("me", "b1", 0.5),
+        ("p1", "b1", 0.6), ("p1", "b2", 0.8),
+        ("p2", "b1", 0.4), ("p2", "b2", 0.2),
+        ("p3", "b3", -0.5),
+    ]
+    for agent, product, value in ratings:
+        dataset.add_rating(Rating(agent=agent, product=product, value=value))
+    return dataset
+
+
+class TestPredictRating:
+    def test_no_evidence_returns_none(self):
+        dataset = _dataset()
+        assert predict_rating(dataset, "me", "b3", {"p1": 1.0}) is None
+
+    def test_unweighted_peers_ignored(self):
+        dataset = _dataset()
+        # p3 rated b3 but has weight 0.
+        assert predict_rating(dataset, "me", "b3", {"p3": 0.0}) is None
+
+    def test_plain_weighted_mean(self):
+        dataset = _dataset()
+        value = predict_rating(
+            dataset, "me", "b2", {"p1": 3.0, "p2": 1.0}, mean_centered=False
+        )
+        assert value == pytest.approx((3.0 * 0.8 + 1.0 * 0.2) / 4.0)
+
+    def test_mean_centered_resnick(self):
+        dataset = _dataset()
+        # own mean = 0.5; p1 mean = 0.7, p2 mean = 0.3.
+        value = predict_rating(dataset, "me", "b2", {"p1": 1.0, "p2": 1.0})
+        expected = 0.5 + ((0.8 - 0.7) + (0.2 - 0.3)) / 2.0
+        assert value == pytest.approx(expected)
+
+    def test_own_rating_never_used(self):
+        dataset = _dataset()
+        # "me" rated b1; prediction for b1 must come from peers only.
+        value = predict_rating(
+            dataset, "me", "b1", {"me": 5.0, "p1": 1.0}, mean_centered=False
+        )
+        assert value == pytest.approx(0.6)
+
+    def test_clamped_to_scale(self):
+        dataset = Dataset()
+        dataset.add_agent(Agent(uri="me"))
+        dataset.add_agent(Agent(uri="p"))
+        dataset.add_product(Product(identifier="b"))
+        dataset.add_product(Product(identifier="c"))
+        dataset.add_rating(Rating(agent="me", product="c", value=1.0))
+        dataset.add_rating(Rating(agent="p", product="b", value=1.0))
+        dataset.add_rating(Rating(agent="p", product="c", value=-1.0))
+        # own mean 1.0, deviation (1.0 - 0.0) = +1 -> raw 2.0 -> clamp 1.0
+        value = predict_rating(dataset, "me", "b", {"p": 1.0})
+        assert value == 1.0
+
+
+class TestRatingPredictor:
+    def test_caches_weights(self):
+        dataset = _dataset()
+        calls = []
+
+        def provider(agent):
+            calls.append(agent)
+            return {"p1": 1.0, "p2": 1.0}
+
+        predictor = RatingPredictor(dataset, provider)
+        predictor.predict("me", "b2")
+        predictor.predict("me", "b1")
+        assert calls == ["me"]
+
+    def test_predict_many_drops_bottoms(self):
+        dataset = _dataset()
+        predictor = RatingPredictor(dataset, lambda agent: {"p1": 1.0})
+        out = predictor.predict_many("me", ["b2", "b3"])
+        assert set(out) == {"b2"}
+
+    def test_integration_with_recommender_weights(self, small_community):
+        from repro.core.profiles import TaxonomyProfileBuilder
+        from repro.core.recommender import ProfileStore, SemanticWebRecommender
+        from repro.trust.graph import TrustGraph
+
+        dataset = small_community.dataset
+        recommender = SemanticWebRecommender(
+            dataset=dataset,
+            graph=TrustGraph.from_dataset(dataset),
+            profiles=ProfileStore(
+                dataset, TaxonomyProfileBuilder(small_community.taxonomy)
+            ),
+        )
+        predictor = RatingPredictor(dataset, recommender.peer_weights)
+        agent = sorted(dataset.agents)[0]
+        products = sorted(dataset.products)[:30]
+        predictions = predictor.predict_many(agent, products)
+        assert all(-1.0 <= v <= 1.0 for v in predictions.values())

@@ -1,0 +1,167 @@
+"""Unit and property tests for similarity measures."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.similarity import (
+    cosine,
+    overlap_keys,
+    pearson,
+    profile_overlap,
+    top_similar,
+)
+
+_VECTORS = st.dictionaries(
+    st.sampled_from([f"k{i}" for i in range(8)]),
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    max_size=8,
+)
+
+
+class TestPearson:
+    def test_identical_vectors(self):
+        v = {"a": 1.0, "b": 2.0, "c": 3.0}
+        assert pearson(v, v) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        left = {"a": 1.0, "b": 2.0, "c": 3.0}
+        right = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert pearson(left, right) == pytest.approx(-1.0)
+
+    def test_scale_invariance(self):
+        left = {"a": 1.0, "b": 2.0, "c": 4.0}
+        right = {k: 10 * v + 3 for k, v in left.items()}
+        assert pearson(left, right) == pytest.approx(1.0)
+
+    def test_empty_inputs(self):
+        assert pearson({}, {}) == 0.0
+        assert pearson({"a": 1.0}, {}) == 0.0
+
+    def test_constant_vector_degenerate(self):
+        left = {"a": 1.0, "b": 1.0}
+        right = {"a": 0.5, "b": 0.7}
+        assert pearson(left, right) == 0.0
+
+    def test_union_includes_missing_as_zero(self):
+        left = {"a": 1.0, "b": 1.0}
+        right = {"c": 1.0, "d": 1.0}
+        # Disjoint supports anticorrelate over the union domain.
+        assert pearson(left, right, domain="union") == pytest.approx(-1.0)
+
+    def test_intersection_requires_two_shared(self):
+        left = {"a": 1.0, "b": 2.0}
+        right = {"a": 1.0, "c": 5.0}
+        assert pearson(left, right, domain="intersection") == 0.0
+
+    def test_intersection_computes_over_shared_only(self):
+        left = {"a": 1.0, "b": 2.0, "c": 3.0, "x": 99.0}
+        right = {"a": 2.0, "b": 4.0, "c": 6.0, "y": -99.0}
+        assert pearson(left, right, domain="intersection") == pytest.approx(1.0)
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValueError):
+            pearson({}, {}, domain="bogus")
+
+    @given(_VECTORS, _VECTORS)
+    def test_property_bounded_and_symmetric(self, left, right):
+        value = pearson(left, right)
+        assert -1.0 <= value <= 1.0
+        assert value == pytest.approx(pearson(right, left))
+
+
+class TestCosine:
+    def test_identical_direction(self):
+        left = {"a": 1.0, "b": 2.0}
+        right = {"a": 2.0, "b": 4.0}
+        assert cosine(left, right) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_opposite(self):
+        assert cosine({"a": 1.0}, {"a": -1.0}) == pytest.approx(-1.0)
+
+    def test_empty(self):
+        assert cosine({}, {"a": 1.0}) == 0.0
+
+    def test_zero_norm(self):
+        assert cosine({"a": 0.0}, {"a": 1.0}) == 0.0
+
+    def test_known_value(self):
+        left = {"a": 1.0, "b": 1.0}
+        right = {"a": 1.0}
+        assert cosine(left, right) == pytest.approx(1.0 / math.sqrt(2))
+
+    def test_intersection_domain(self):
+        left = {"a": 1.0, "b": 1.0, "x": 100.0}
+        right = {"a": 1.0, "b": 1.0, "y": -3.0}
+        assert cosine(left, right, domain="intersection") == pytest.approx(1.0)
+
+    @given(_VECTORS, _VECTORS)
+    def test_property_bounded_and_symmetric(self, left, right):
+        value = cosine(left, right)
+        assert -1.0 <= value <= 1.0
+        assert value == pytest.approx(cosine(right, left))
+
+    @given(_VECTORS)
+    def test_property_self_similarity(self, vector):
+        # Exclude magnitudes whose square underflows to 0.0.
+        nonzero = {k: v for k, v in vector.items() if abs(v) >= 1e-6}
+        if nonzero:
+            assert cosine(nonzero, nonzero) == pytest.approx(1.0)
+
+
+class TestOverlap:
+    def test_overlap_keys(self):
+        assert overlap_keys({"a": 1, "b": 2}, {"b": 3, "c": 4}) == {"b"}
+
+    def test_profile_overlap_jaccard(self):
+        left = {"a": 1.0, "b": 1.0}
+        right = {"b": 1.0, "c": 1.0}
+        assert profile_overlap(left, right) == pytest.approx(1 / 3)
+
+    def test_profile_overlap_empty(self):
+        assert profile_overlap({}, {}) == 0.0
+        assert profile_overlap({"a": 1.0}, {}) == 0.0
+
+    def test_profile_overlap_identical(self):
+        v = {"a": 1.0, "b": 2.0}
+        assert profile_overlap(v, v) == 1.0
+
+
+class TestTopSimilar:
+    def test_ranks_by_similarity(self):
+        target = {"a": 1.0, "b": 2.0, "c": 3.0}
+        candidates = {
+            "same": {"a": 1.0, "b": 2.0, "c": 3.0},
+            "anti": {"a": 3.0, "b": 2.0, "c": 1.0},
+            "flat": {"a": 1.0, "b": 1.0, "c": 1.0},
+        }
+        ranked = top_similar(target, candidates)
+        assert ranked[0][0] == "same"
+        assert ranked[-1][0] == "anti"
+
+    def test_limit(self):
+        target = {"a": 1.0}
+        candidates = {f"c{i}": {"a": 1.0} for i in range(10)}
+        assert len(top_similar(target, candidates, limit=3)) == 3
+
+    def test_deterministic_tie_break(self):
+        target = {"a": 1.0, "b": 1.0}
+        candidates = {"z": dict(target), "y": dict(target)}
+        ranked = top_similar(target, candidates, measure="cosine")
+        assert [name for name, _ in ranked] == ["y", "z"]
+
+    def test_cosine_measure(self):
+        target = {"a": 1.0}
+        ranked = top_similar(target, {"x": {"a": 5.0}}, measure="cosine")
+        assert ranked[0][1] == pytest.approx(1.0)
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ValueError):
+            top_similar({}, {}, measure="bogus")

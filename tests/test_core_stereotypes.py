@@ -1,0 +1,132 @@
+"""Unit tests for stereotype generation (§6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiles import TaxonomyProfileBuilder
+from repro.core.recommender import ProfileStore
+from repro.core.stereotypes import (
+    StereotypeRecommender,
+    cluster_profiles,
+)
+
+# Two obvious planted clusters in topic space.
+MATH_PROFILE = {"Algebra": 10.0, "Pure": 5.0, "Mathematics": 2.0}
+LIT_PROFILE = {"Literature": 10.0, "Fiction": 5.0}
+
+
+def _profiles(n_per_cluster: int = 5) -> dict[str, dict[str, float]]:
+    profiles = {}
+    for i in range(n_per_cluster):
+        profiles[f"math{i}"] = {k: v * (1 + 0.1 * i) for k, v in MATH_PROFILE.items()}
+        profiles[f"lit{i}"] = {k: v * (1 + 0.1 * i) for k, v in LIT_PROFILE.items()}
+    return profiles
+
+
+class TestClusterProfiles:
+    def test_recovers_planted_clusters(self):
+        model = cluster_profiles(_profiles(), k=2, seed=3)
+        assert len(model.stereotypes) == 2
+        membership = model.membership()
+        math_labels = {membership[f"math{i}"] for i in range(5)}
+        lit_labels = {membership[f"lit{i}"] for i in range(5)}
+        assert len(math_labels) == 1
+        assert len(lit_labels) == 1
+        assert math_labels != lit_labels
+
+    def test_deterministic(self):
+        first = cluster_profiles(_profiles(), k=2, seed=7)
+        second = cluster_profiles(_profiles(), k=2, seed=7)
+        assert first.membership() == second.membership()
+
+    def test_empty_profiles_excluded(self):
+        profiles = _profiles()
+        profiles["ghost"] = {}
+        model = cluster_profiles(profiles, k=2, seed=1)
+        assert "ghost" not in model.membership()
+
+    def test_k_clamped_to_population(self):
+        model = cluster_profiles({"a": {"x": 1.0}}, k=10, seed=1)
+        assert len(model.stereotypes) == 1
+
+    def test_all_empty(self):
+        model = cluster_profiles({"a": {}, "b": {}}, k=2)
+        assert model.stereotypes == []
+        assert model.converged
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            cluster_profiles(_profiles(), k=0)
+
+    def test_assign_matches_fitting(self):
+        model = cluster_profiles(_profiles(), k=2, seed=3)
+        membership = model.membership()
+        assert model.assign(MATH_PROFILE) == membership["math0"]
+        assert model.assign(LIT_PROFILE) == membership["lit0"]
+
+    def test_assign_on_empty_model(self):
+        model = cluster_profiles({}, k=2)
+        with pytest.raises(ValueError):
+            model.assign(MATH_PROFILE)
+
+    def test_top_topics(self):
+        model = cluster_profiles(_profiles(), k=2, seed=3)
+        index = model.assign(MATH_PROFILE)
+        topics = model.stereotypes[index].top_topics(2)
+        assert topics[0] == "Algebra"
+
+    def test_every_member_assigned_once(self):
+        model = cluster_profiles(_profiles(), k=2, seed=3)
+        members = [a for s in model.stereotypes for a in s.members]
+        assert len(members) == len(set(members)) == 10
+
+
+class TestStereotypeRecommender:
+    def test_fit_and_recommend(self, small_community):
+        dataset = small_community.dataset
+        store = ProfileStore(
+            dataset, TaxonomyProfileBuilder(small_community.taxonomy)
+        )
+        recommender = StereotypeRecommender.fit(dataset, store, k=6, seed=2)
+        agent = sorted(dataset.agents)[0]
+        recs = recommender.recommend(agent, limit=10)
+        assert recs
+        rated = set(dataset.ratings_of(agent))
+        assert not rated & {r.product for r in recs}
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_supporters_are_stereotype_members(self, small_community):
+        dataset = small_community.dataset
+        store = ProfileStore(
+            dataset, TaxonomyProfileBuilder(small_community.taxonomy)
+        )
+        recommender = StereotypeRecommender.fit(dataset, store, k=6, seed=2)
+        agent = sorted(dataset.agents)[0]
+        index = recommender.model.assign(store.profile(agent))
+        members = set(recommender.model.stereotypes[index].members)
+        for rec in recommender.recommend(agent, limit=5):
+            assert set(rec.supporters) <= members
+
+    def test_stereotypes_recover_planted_clusters(self, small_community):
+        dataset = small_community.dataset
+        store = ProfileStore(
+            dataset, TaxonomyProfileBuilder(small_community.taxonomy)
+        )
+        k = small_community.config.n_clusters
+        recommender = StereotypeRecommender.fit(dataset, store, k=k, seed=5)
+        membership = recommender.model.membership()
+        # Purity against the generator's planted clusters beats chance.
+        groups: dict[int, list[str]] = {}
+        for agent, label in membership.items():
+            groups.setdefault(label, []).append(agent)
+        correct = 0
+        for members in groups.values():
+            counts: dict[int, int] = {}
+            for agent in members:
+                truth = small_community.membership[agent]
+                counts[truth] = counts.get(truth, 0) + 1
+            correct += max(counts.values())
+        purity = correct / len(membership)
+        assert purity > 2.0 / k

@@ -1,0 +1,138 @@
+"""Unit and property tests for the §3.4 rank synthesis strategies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.synthesis import (
+    BordaCount,
+    LinearBlend,
+    Multiplicative,
+    TrustFilter,
+    strategy_by_name,
+)
+
+TRUST = {"a": 1.0, "b": 0.5, "c": 0.2}
+SIMILARITY = {"a": 0.1, "b": 0.9, "c": -0.5}
+
+
+class TestLinearBlend:
+    def test_gamma_bounds(self):
+        with pytest.raises(ValueError):
+            LinearBlend(gamma=-0.1)
+        with pytest.raises(ValueError):
+            LinearBlend(gamma=1.1)
+
+    def test_gamma_one_is_trust_only(self):
+        merged = LinearBlend(gamma=1.0).merge(TRUST, SIMILARITY)
+        assert merged == pytest.approx(TRUST)
+
+    def test_gamma_zero_is_similarity_only(self):
+        merged = LinearBlend(gamma=0.0).merge(TRUST, SIMILARITY)
+        assert merged["b"] == pytest.approx(0.9)
+        assert "c" not in merged  # negative similarity clipped to 0 weight
+
+    def test_balanced_blend(self):
+        merged = LinearBlend(gamma=0.5).merge(TRUST, SIMILARITY)
+        assert merged["a"] == pytest.approx(0.55)
+        assert merged["b"] == pytest.approx(0.7)
+        assert merged["c"] == pytest.approx(0.1)  # trust carries it
+
+    def test_missing_similarity_treated_as_zero(self):
+        merged = LinearBlend(gamma=0.5).merge({"a": 1.0}, {})
+        assert merged == {"a": 0.5}
+
+
+class TestMultiplicative:
+    def test_requires_both_signals(self):
+        merged = Multiplicative().merge(TRUST, SIMILARITY)
+        assert merged["a"] == pytest.approx(0.1)
+        assert merged["b"] == pytest.approx(0.45)
+        assert "c" not in merged  # negative similarity -> zero weight
+
+    def test_zero_trust_drops_peer(self):
+        merged = Multiplicative().merge({"a": 0.0}, {"a": 1.0})
+        assert merged == {}
+
+
+class TestBordaCount:
+    def test_empty(self):
+        assert BordaCount().merge({}, {}) == {}
+
+    def test_agreement_puts_peer_first(self):
+        trust = {"a": 1.0, "b": 0.5}
+        similarity = {"a": 0.9, "b": 0.1}
+        merged = BordaCount().merge(trust, similarity)
+        assert merged["a"] > merged["b"]
+
+    def test_scale_free(self):
+        trust = {"a": 1.0, "b": 0.5}
+        similarity = {"a": 0.9, "b": 0.1}
+        scaled = {k: v * 1000 for k, v in trust.items()}
+        assert BordaCount().merge(trust, similarity) == BordaCount().merge(
+            scaled, similarity
+        )
+
+    def test_weights_in_unit_interval(self):
+        merged = BordaCount().merge(TRUST, SIMILARITY)
+        assert all(0.0 < v <= 1.0 for v in merged.values())
+
+    def test_disagreement_averages_out(self):
+        trust = {"a": 1.0, "b": 0.5}
+        similarity = {"a": 0.1, "b": 0.9}
+        merged = BordaCount().merge(trust, similarity)
+        assert merged["a"] == pytest.approx(merged["b"])
+
+
+class TestTrustFilter:
+    def test_similarity_is_the_weight(self):
+        merged = TrustFilter().merge(TRUST, SIMILARITY)
+        assert merged == {"a": 0.1, "b": 0.9}
+
+    def test_peer_outside_trust_never_votes(self):
+        merged = TrustFilter().merge({"a": 1.0}, {"a": 0.5, "z": 0.99})
+        assert "z" not in merged
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["linear", "multiplicative", "borda", "trust_filter"]
+    )
+    def test_known_names(self, name):
+        strategy = strategy_by_name(name)
+        assert strategy.name == name
+
+    def test_kwargs_forwarded(self):
+        strategy = strategy_by_name("linear", gamma=0.9)
+        assert strategy.gamma == 0.9
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            strategy_by_name("bogus")
+
+
+_WEIGHTS = st.dictionaries(
+    st.sampled_from(["p1", "p2", "p3", "p4"]),
+    st.floats(min_value=0.0, max_value=1.0),
+    max_size=4,
+)
+_SIMS = st.dictionaries(
+    st.sampled_from(["p1", "p2", "p3", "p4"]),
+    st.floats(min_value=-1.0, max_value=1.0),
+    max_size=4,
+)
+
+
+@given(trust=_WEIGHTS, similarity=_SIMS)
+@pytest.mark.parametrize(
+    "strategy",
+    [LinearBlend(), LinearBlend(0.25), Multiplicative(), BordaCount(), TrustFilter()],
+)
+def test_property_contract(strategy, trust, similarity):
+    """Property: every strategy returns positive weights over a subset of
+    the trusted peers only."""
+    merged = strategy.merge(trust, similarity)
+    assert set(merged) <= set(trust)
+    assert all(v > 0.0 for v in merged.values())

@@ -1,0 +1,199 @@
+"""Unit and property tests for the taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.taxonomy import Taxonomy, TaxonomyError, figure1_fragment
+
+
+class TestConstruction:
+    def test_root_exists(self):
+        taxonomy = Taxonomy("Books")
+        assert taxonomy.root == "Books"
+        assert "Books" in taxonomy
+        assert len(taxonomy) == 1
+
+    def test_empty_root_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy("")
+
+    def test_add_topic(self):
+        taxonomy = Taxonomy("R")
+        taxonomy.add_topic("A", "R")
+        assert taxonomy.parent("A") == "R"
+        assert taxonomy.children("R") == ("A",)
+
+    def test_duplicate_topic_rejected(self):
+        taxonomy = Taxonomy("R")
+        taxonomy.add_topic("A", "R")
+        with pytest.raises(TaxonomyError):
+            taxonomy.add_topic("A", "R")
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy("R").add_topic("A", "ghost")
+
+    def test_empty_topic_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy("R").add_topic("", "R")
+
+    def test_from_edges_any_order(self):
+        edges = [("A", "B"), ("R", "A"), ("B", "C")]
+        taxonomy = Taxonomy.from_edges("R", edges)
+        assert taxonomy.path_to_root("C") == ["C", "B", "A", "R"]
+
+    def test_from_edges_multiple_parents_rejected(self):
+        with pytest.raises(TaxonomyError, match="multiple parents"):
+            Taxonomy.from_edges("R", [("R", "A"), ("R", "B"), ("A", "C"), ("B", "C")])
+
+    def test_from_edges_cycle_rejected(self):
+        with pytest.raises(TaxonomyError, match="unreachable"):
+            Taxonomy.from_edges("R", [("A", "B"), ("B", "A")])
+
+    def test_from_edges_orphan_rejected(self):
+        with pytest.raises(TaxonomyError, match="unreachable"):
+            Taxonomy.from_edges("R", [("R", "A"), ("X", "Y")])
+
+    def test_from_edges_labels(self):
+        taxonomy = Taxonomy.from_edges("R", [("R", "A")], labels={"A": "Topic A"})
+        assert taxonomy.label("A") == "Topic A"
+
+
+class TestNavigation:
+    @pytest.fixture
+    def taxonomy(self) -> Taxonomy:
+        return figure1_fragment()
+
+    def test_depth(self, taxonomy):
+        assert taxonomy.depth("Books") == 0
+        assert taxonomy.depth("Science") == 1
+        assert taxonomy.depth("Algebra") == 4
+
+    def test_path_from_root(self, taxonomy):
+        assert taxonomy.path_from_root("Algebra") == [
+            "Books",
+            "Science",
+            "Mathematics",
+            "Pure",
+            "Algebra",
+        ]
+
+    def test_ancestors(self, taxonomy):
+        assert taxonomy.ancestors("Pure") == ["Mathematics", "Science", "Books"]
+        assert taxonomy.ancestors("Books") == []
+
+    def test_is_ancestor(self, taxonomy):
+        assert taxonomy.is_ancestor("Science", "Algebra")
+        assert taxonomy.is_ancestor("Algebra", "Algebra")  # reflexive
+        assert not taxonomy.is_ancestor("Physics", "Algebra")
+
+    def test_is_leaf(self, taxonomy):
+        assert taxonomy.is_leaf("Algebra")
+        assert not taxonomy.is_leaf("Mathematics")
+
+    def test_leaves(self, taxonomy):
+        leaves = set(taxonomy.leaves())
+        assert "Algebra" in leaves
+        assert "Calculus" in leaves
+        assert "Books" not in leaves
+
+    def test_descendants(self, taxonomy):
+        descendants = taxonomy.descendants("Mathematics")
+        assert set(descendants) == {"Pure", "Applied", "Discrete", "Algebra", "Calculus"}
+
+    def test_descendants_of_leaf_empty(self, taxonomy):
+        assert taxonomy.descendants("Algebra") == []
+
+    def test_lowest_common_ancestor(self, taxonomy):
+        assert taxonomy.lowest_common_ancestor("Algebra", "Calculus") == "Pure"
+        assert taxonomy.lowest_common_ancestor("Algebra", "Physics") == "Science"
+        assert taxonomy.lowest_common_ancestor("Algebra", "Literature") == "Books"
+        assert taxonomy.lowest_common_ancestor("Algebra", "Algebra") == "Algebra"
+
+    def test_unknown_topic_raises(self, taxonomy):
+        with pytest.raises(TaxonomyError):
+            taxonomy.parent("ghost")
+        with pytest.raises(TaxonomyError):
+            taxonomy.depth("ghost")
+
+
+class TestSiblingCounts:
+    """Figure 1's sibling counts drive Example 1's arithmetic exactly."""
+
+    @pytest.fixture
+    def taxonomy(self) -> Taxonomy:
+        return figure1_fragment()
+
+    def test_root_has_no_siblings(self, taxonomy):
+        assert taxonomy.sibling_count("Books") == 0
+
+    @pytest.mark.parametrize(
+        ("topic", "expected"),
+        [("Algebra", 1), ("Pure", 2), ("Mathematics", 3), ("Science", 3)],
+    )
+    def test_example1_sibling_counts(self, taxonomy, topic, expected):
+        assert taxonomy.sibling_count(topic) == expected
+
+
+class TestStatistics:
+    def test_max_depth(self):
+        taxonomy = figure1_fragment()
+        assert taxonomy.max_depth() == 4
+
+    def test_branching_stats(self):
+        stats = figure1_fragment().branching_stats()
+        # Books + 4 + 4 + 3 + 2 topics along the Figure 1 fragment.
+        assert stats["topics"] == 14
+        assert stats["max_depth"] == 4
+        assert stats["leaves"] == 10
+        assert stats["inner"] == 4
+        assert stats["mean_branching"] == pytest.approx((4 + 4 + 3 + 2) / 4)
+
+    def test_single_node_stats(self):
+        stats = Taxonomy("R").branching_stats()
+        assert stats["topics"] == 1
+        assert stats["mean_branching"] == 0.0
+
+
+@given(st.lists(st.integers(0, 9), min_size=1, max_size=60))
+def test_property_paths_always_reach_root(child_choices):
+    """Property: after arbitrary valid insertions, every topic's path ends
+    at the root and depths are consistent with path lengths."""
+    taxonomy = Taxonomy("R")
+    names = ["R"]
+    for i, choice in enumerate(child_choices):
+        parent = names[choice % len(names)]
+        name = f"t{i}"
+        taxonomy.add_topic(name, parent)
+        names.append(name)
+    for topic in taxonomy:
+        path = taxonomy.path_to_root(topic)
+        assert path[-1] == "R"
+        assert len(path) == taxonomy.depth(topic) + 1
+        # sibling count consistency: every child of my parent shares it
+        parent = taxonomy.parent(topic)
+        if parent is not None:
+            assert topic in taxonomy.children(parent)
+            assert taxonomy.sibling_count(topic) == len(taxonomy.children(parent)) - 1
+
+
+@given(st.lists(st.integers(0, 9), min_size=2, max_size=40))
+def test_property_lca_is_common_ancestor(child_choices):
+    """Property: the LCA of two topics is an ancestor of both and deeper
+    than any other common ancestor."""
+    taxonomy = Taxonomy("R")
+    names = ["R"]
+    for i, choice in enumerate(child_choices):
+        parent = names[choice % len(names)]
+        name = f"t{i}"
+        taxonomy.add_topic(name, parent)
+        names.append(name)
+    first, second = names[-1], names[len(names) // 2]
+    lca = taxonomy.lowest_common_ancestor(first, second)
+    assert taxonomy.is_ancestor(lca, first)
+    assert taxonomy.is_ancestor(lca, second)
+    common = set(taxonomy.path_to_root(first)) & set(taxonomy.path_to_root(second))
+    assert taxonomy.depth(lca) == max(taxonomy.depth(t) for t in common)

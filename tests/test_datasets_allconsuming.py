@@ -1,0 +1,56 @@
+"""Unit tests for the All Consuming-scale preset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.allconsuming import (
+    ALLCONSUMING_AGENTS,
+    ALLCONSUMING_BOOKS,
+    allconsuming_config,
+    generate_allconsuming,
+)
+
+
+class TestConfig:
+    def test_full_scale_matches_paper_numbers(self):
+        config = allconsuming_config(scale=1.0)
+        assert config.n_agents == ALLCONSUMING_AGENTS == 9_100
+        assert config.n_products == ALLCONSUMING_BOOKS == 9_953
+        assert not config.explicit_ratings  # weblog votes are implicit
+
+    def test_scaling(self):
+        config = allconsuming_config(scale=0.1)
+        assert config.n_agents == 910
+        assert config.n_products == 995
+
+    def test_taxonomy_scales_sublinearly(self):
+        small = allconsuming_config(scale=0.25)
+        full = allconsuming_config(scale=1.0)
+        assert small.taxonomy.target_topics == 10_000
+        assert full.taxonomy.target_topics == 20_000
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            allconsuming_config(scale=0.0)
+        with pytest.raises(ValueError):
+            allconsuming_config(scale=5.0)
+
+    def test_minimum_floors(self):
+        config = allconsuming_config(scale=0.0005)
+        assert config.n_agents >= 10
+        assert config.n_products >= 20
+        assert config.taxonomy.target_topics >= 200
+
+
+class TestGeneration:
+    def test_small_scale_generates(self):
+        community = generate_allconsuming(scale=0.01, seed=1)
+        assert len(community.dataset.agents) == 91
+        assert len(community.dataset.products) == 100
+        community.dataset.validate()
+
+    def test_deterministic(self):
+        first = generate_allconsuming(scale=0.01, seed=2)
+        second = generate_allconsuming(scale=0.01, seed=2)
+        assert first.dataset.trust == second.dataset.trust

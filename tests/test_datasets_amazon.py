@@ -1,0 +1,115 @@
+"""Unit tests for taxonomy and product generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.amazon import (
+    TaxonomyConfig,
+    assign_descriptors,
+    book_taxonomy_config,
+    dvd_taxonomy_config,
+    generate_products,
+    generate_taxonomy,
+)
+
+
+class TestTaxonomyConfig:
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            TaxonomyConfig(target_topics=0)
+        with pytest.raises(ValueError):
+            TaxonomyConfig(max_depth=0)
+        with pytest.raises(ValueError):
+            TaxonomyConfig(min_children=5, max_children=2)
+        with pytest.raises(ValueError):
+            TaxonomyConfig(expand_probability=0.0)
+
+    def test_presets_have_documented_shapes(self):
+        book = book_taxonomy_config()
+        dvd = dvd_taxonomy_config()
+        assert book.max_depth > dvd.max_depth
+        assert dvd.min_children > book.min_children
+
+
+class TestGenerateTaxonomy:
+    def test_deterministic(self):
+        config = book_taxonomy_config(target_topics=300, seed=5)
+        first = generate_taxonomy(config)
+        second = generate_taxonomy(config)
+        assert list(first) == list(second)
+        assert all(first.parent(t) == second.parent(t) for t in first)
+
+    def test_respects_target_size(self):
+        taxonomy = generate_taxonomy(book_taxonomy_config(target_topics=250))
+        assert len(taxonomy) <= 250
+        assert len(taxonomy) >= 200  # growth gets close to the target
+
+    def test_respects_max_depth(self):
+        config = TaxonomyConfig(target_topics=500, max_depth=3)
+        taxonomy = generate_taxonomy(config)
+        assert taxonomy.max_depth() <= 3
+
+    def test_book_deeper_than_dvd(self):
+        book = generate_taxonomy(book_taxonomy_config(target_topics=800))
+        dvd = generate_taxonomy(dvd_taxonomy_config(target_topics=800))
+        assert book.max_depth() > dvd.max_depth()
+        assert (
+            dvd.branching_stats()["mean_branching"]
+            > book.branching_stats()["mean_branching"]
+        )
+
+    def test_root_label(self):
+        taxonomy = generate_taxonomy(dvd_taxonomy_config())
+        assert taxonomy.root == "DVD"
+
+    def test_tiny_taxonomy(self):
+        taxonomy = generate_taxonomy(TaxonomyConfig(target_topics=1))
+        assert len(taxonomy) == 1
+
+
+class TestAssignDescriptors:
+    def test_within_bounds(self):
+        taxonomy = generate_taxonomy(book_taxonomy_config(target_topics=200))
+        rng = random.Random(0)
+        for _ in range(50):
+            descriptors = assign_descriptors(taxonomy, rng, 1, 5)
+            assert 1 <= len(descriptors) <= 5
+            assert all(taxonomy.is_leaf(d) for d in descriptors)
+
+    def test_leafless_taxonomy_uses_root(self):
+        from repro.core.taxonomy import Taxonomy
+
+        taxonomy = Taxonomy("R")
+        # Root is itself a leaf here, so leaves() is non-empty; force the
+        # degenerate branch by checking a single-node taxonomy.
+        descriptors = assign_descriptors(taxonomy, random.Random(0), 1, 3)
+        assert descriptors == frozenset({"R"})
+
+
+class TestGenerateProducts:
+    def test_count_and_identifiers(self):
+        taxonomy = generate_taxonomy(book_taxonomy_config(target_topics=100))
+        products = generate_products(taxonomy, 25, seed=1)
+        assert len(products) == 25
+        assert all(identifier.startswith("isbn:978") for identifier in products)
+
+    def test_deterministic(self):
+        taxonomy = generate_taxonomy(book_taxonomy_config(target_topics=100))
+        assert generate_products(taxonomy, 10, seed=2) == generate_products(
+            taxonomy, 10, seed=2
+        )
+
+    def test_every_product_classified(self):
+        taxonomy = generate_taxonomy(book_taxonomy_config(target_topics=100))
+        products = generate_products(taxonomy, 40, seed=3)
+        assert all(p.descriptors for p in products.values())
+        for product in products.values():
+            assert all(d in taxonomy for d in product.descriptors)
+
+    def test_invalid_count(self):
+        taxonomy = generate_taxonomy(book_taxonomy_config(target_topics=50))
+        with pytest.raises(ValueError):
+            generate_products(taxonomy, 0)

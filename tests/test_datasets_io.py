@@ -1,0 +1,113 @@
+"""Unit tests for dataset and taxonomy snapshot IO."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datasets.generators import CommunityConfig, generate_community
+from repro.datasets.io import load_dataset, load_taxonomy, save_dataset, save_taxonomy
+
+
+class TestDatasetIO:
+    def test_roundtrip_tiny(self, tiny_dataset, tmp_path):
+        path = tmp_path / "data.jsonl"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.agents == tiny_dataset.agents
+        assert loaded.products == tiny_dataset.products
+        assert loaded.trust == tiny_dataset.trust
+        assert loaded.ratings == tiny_dataset.ratings
+
+    def test_roundtrip_generated(self, tmp_path):
+        community = generate_community(
+            CommunityConfig(n_agents=30, n_products=50, n_clusters=3, seed=8)
+        )
+        path = tmp_path / "data.jsonl"
+        save_dataset(community.dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.trust == community.dataset.trust
+        assert loaded.ratings == community.dataset.ratings
+
+    def test_deterministic_bytes(self, tiny_dataset, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        save_dataset(tiny_dataset, first)
+        save_dataset(tiny_dataset, second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record kind"):
+            load_dataset(path)
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "agent", "uri": "u:1"}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            load_dataset(path)
+
+    def test_validation_toggle(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        record = {"kind": "rating", "agent": "ghost", "product": "p", "value": 1.0}
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ValueError):
+            load_dataset(path)
+        loaded = load_dataset(path, validate=False)
+        assert len(loaded.ratings) == 1
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('\n{"kind": "agent", "uri": "u:1", "name": ""}\n\n')
+        assert len(load_dataset(path).agents) == 1
+
+
+class TestTaxonomyIO:
+    def test_roundtrip(self, figure1, tmp_path):
+        path = tmp_path / "taxonomy.jsonl"
+        save_taxonomy(figure1, path)
+        loaded = load_taxonomy(path)
+        assert set(loaded) == set(figure1)
+        for topic in figure1:
+            assert loaded.parent(topic) == figure1.parent(topic)
+            assert loaded.label(topic) == figure1.label(topic)
+            assert loaded.sibling_count(topic) == figure1.sibling_count(topic)
+
+    def test_preserves_child_order(self, figure1, tmp_path):
+        path = tmp_path / "taxonomy.jsonl"
+        save_taxonomy(figure1, path)
+        loaded = load_taxonomy(path)
+        for topic in figure1:
+            assert loaded.children(topic) == figure1.children(topic)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no topic records"):
+            load_taxonomy(path)
+
+    def test_child_before_root_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind": "topic", "id": "A", "parent": "R", "label": "A"}\n'
+            '{"kind": "topic", "id": "R", "parent": null, "label": "R"}\n'
+        )
+        with pytest.raises(ValueError, match="before the root"):
+            load_taxonomy(path)
+
+    def test_second_root_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind": "topic", "id": "R", "parent": null, "label": "R"}\n'
+            '{"kind": "topic", "id": "S", "parent": null, "label": "S"}\n'
+        )
+        with pytest.raises(ValueError, match="second root"):
+            load_taxonomy(path)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "agent", "uri": "u:1"}\n')
+        with pytest.raises(ValueError, match="expected topic record"):
+            load_taxonomy(path)

@@ -1,0 +1,176 @@
+"""Edge-case tests across modules: error paths and boundary conditions
+not covered by the per-module suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Agent, Dataset, Product, Rating, TrustStatement
+from repro.core.profiles import TaxonomyProfileBuilder
+from repro.core.recommender import ProfileStore, SemanticWebRecommender
+from repro.core.taxonomy import Taxonomy, figure1_fragment
+from repro.trust.advogato import Advogato
+from repro.trust.appleseed import Appleseed
+from repro.trust.graph import TrustGraph
+
+
+class TestLocalAgentErrors:
+    def test_missing_taxonomy_document(self, small_community):
+        """A web without the global taxonomy document fails sync loudly."""
+        from repro.agent import LocalAgent
+        from repro.semweb.foaf import publish_agent
+        from repro.semweb.serializer import serialize_ntriples
+        from repro.web.network import SimulatedWeb, WebError
+
+        web = SimulatedWeb()
+        dataset = small_community.dataset
+        seed = sorted(dataset.agents)[0]
+        web.publish(
+            seed,
+            serialize_ntriples(
+                publish_agent(
+                    dataset.agents[seed],
+                    dataset.trust_of(seed),
+                    dataset.ratings_of(seed),
+                )
+            ),
+        )
+        agent = LocalAgent(uri=seed, web=web)
+        with pytest.raises(WebError):
+            agent.sync()
+
+
+class TestAdvogatoExplicitCapacities:
+    def test_last_capacity_extends_to_deep_levels(self):
+        graph = TrustGraph.from_edges(
+            [(f"n{i}", f"n{i+1}", 1.0) for i in range(6)]
+        )
+        result = Advogato(capacities=[10, 4]).compute(graph, "n0")
+        # Levels 2..6 all reuse the last explicit value (4).
+        assert result.capacities["n2"] == 4
+        assert result.capacities["n6"] == 4
+
+    def test_capacities_clamped_to_one(self):
+        graph = TrustGraph.from_edges([("a", "b", 1.0)])
+        result = Advogato(capacities=[0]).compute(graph, "a")
+        assert result.capacities["a"] == 1
+
+
+class TestAppleseedEdgeCases:
+    def test_two_node_cycle(self):
+        graph = TrustGraph.from_edges([("a", "b", 1.0), ("b", "a", 1.0)])
+        result = Appleseed().compute(graph, "a")
+        assert result.converged
+        assert result.ranks["b"] > 0
+
+    def test_weights_near_zero_still_propagate(self):
+        graph = TrustGraph.from_edges([("a", "b", 1e-6)])
+        result = Appleseed().compute(graph, "a")
+        assert result.ranks["b"] > 0
+
+    def test_parallel_identical_edges_share_equally(self):
+        graph = TrustGraph.from_edges([("s", "x", 0.5), ("s", "y", 0.5)])
+        result = Appleseed(convergence_threshold=1e-6).compute(graph, "s")
+        assert result.ranks["x"] == pytest.approx(result.ranks["y"])
+
+    def test_zero_weight_edge_not_propagated(self):
+        graph = TrustGraph.from_edges([("a", "b", 0.0), ("a", "c", 0.5)])
+        result = Appleseed().compute(graph, "a")
+        assert result.ranks.get("b", 0.0) == 0.0
+        assert result.ranks["c"] > 0
+
+
+class TestTaxonomyDeepStructures:
+    def test_very_deep_chain(self):
+        taxonomy = Taxonomy("T0")
+        for i in range(1, 400):
+            taxonomy.add_topic(f"T{i}", f"T{i-1}")
+        assert taxonomy.depth("T399") == 399
+        path = taxonomy.path_to_root("T399")
+        assert len(path) == 400
+
+    def test_deep_chain_score_path_sums_to_budget(self):
+        from repro.core.profiles import descriptor_score_path
+
+        taxonomy = Taxonomy("T0")
+        for i in range(1, 100):
+            taxonomy.add_topic(f"T{i}", f"T{i-1}")
+        scores = descriptor_score_path(taxonomy, "T99", 10.0)
+        assert sum(scores.values()) == pytest.approx(10.0)
+        # Single-child chain: sib+1 == 1 at every step, so the budget
+        # spreads evenly over the whole path.
+        assert scores["T99"] == pytest.approx(scores["T0"])
+
+    def test_wide_flat_taxonomy(self):
+        taxonomy = Taxonomy("R")
+        for i in range(500):
+            taxonomy.add_topic(f"L{i}", "R")
+        assert taxonomy.sibling_count("L0") == 499
+        from repro.core.profiles import descriptor_score_path
+
+        scores = descriptor_score_path(taxonomy, "L0", 500.0)
+        # Massive sibling count: the parent receives almost nothing.
+        assert scores["L0"] / scores["R"] == pytest.approx(500.0)
+
+
+class TestDatasetEdgeCases:
+    def test_agent_rating_only_community(self, figure1):
+        """A community with ratings but zero trust still recommends via CF."""
+        from repro.core.recommender import PureCFRecommender
+
+        dataset = Dataset()
+        for name in ("a", "b"):
+            dataset.add_agent(Agent(uri=name))
+        for i in range(3):
+            identifier = f"p:{i}"
+            dataset.add_product(
+                Product(identifier=identifier, descriptors=frozenset({"Algebra"}))
+            )
+        dataset.add_rating(Rating(agent="a", product="p:0"))
+        dataset.add_rating(Rating(agent="b", product="p:0"))
+        dataset.add_rating(Rating(agent="b", product="p:1"))
+        store = ProfileStore(dataset, TaxonomyProfileBuilder(figure1))
+        cf = PureCFRecommender(dataset=dataset, profiles=store, neighbors=5)
+        recs = cf.recommend("a", limit=5)
+        assert [r.product for r in recs] == ["p:1"]
+
+    def test_trust_only_community_recommends_nothing_without_ratings(self):
+        dataset = Dataset()
+        for name in ("a", "b"):
+            dataset.add_agent(Agent(uri=name))
+        dataset.add_trust(TrustStatement(source="a", target="b", value=1.0))
+        recommender = SemanticWebRecommender.from_dataset(
+            dataset, figure1_fragment()
+        )
+        assert recommender.recommend("a", limit=5) == []
+
+    def test_everyone_rated_everything(self, figure1):
+        """Saturated community: nothing left to recommend to anyone."""
+        dataset = Dataset()
+        for name in ("a", "b", "c"):
+            dataset.add_agent(Agent(uri=name))
+        dataset.add_product(
+            Product(identifier="p:0", descriptors=frozenset({"Algebra"}))
+        )
+        for name in ("a", "b", "c"):
+            dataset.add_rating(Rating(agent=name, product="p:0"))
+        dataset.add_trust(TrustStatement(source="a", target="b", value=1.0))
+        dataset.add_trust(TrustStatement(source="a", target="c", value=1.0))
+        recommender = SemanticWebRecommender.from_dataset(dataset, figure1)
+        assert recommender.recommend("a", limit=5) == []
+
+
+class TestSimulatedWebEdgeCases:
+    def test_stage_then_publish_then_deliver(self):
+        """A direct publish between stage and deliver: delivery still
+        applies the staged body last (newest staged wins by design)."""
+        from repro.web.network import SimulatedWeb
+
+        web = SimulatedWeb()
+        web.publish("u:1", "v1")
+        web.stage_update("u:1", "staged")
+        web.publish("u:1", "direct")
+        assert web.fetch("u:1").body == "direct"
+        web.deliver()
+        assert web.fetch("u:1").body == "staged"
+        assert web.fetch("u:1").version == 3

@@ -1,0 +1,142 @@
+"""Unit tests for the attack models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.attacks import (
+    inject_profile_copy_attack,
+    inject_sybil_region,
+)
+
+
+class TestSybilRegion:
+    def test_sybils_added(self, tiny_dataset):
+        region = inject_sybil_region(tiny_dataset, n_sybils=10, n_bridges=2, seed=1)
+        assert len(region.sybils) == 10
+        assert region.sybils <= set(region.dataset.agents)
+        assert len(region.dataset.agents) == len(tiny_dataset.agents) + 10
+
+    def test_original_untouched(self, tiny_dataset):
+        agents_before = dict(tiny_dataset.agents)
+        trust_before = dict(tiny_dataset.trust)
+        inject_sybil_region(tiny_dataset, n_sybils=10, n_bridges=2, seed=1)
+        assert tiny_dataset.agents == agents_before
+        assert tiny_dataset.trust == trust_before
+
+    def test_bridge_count(self, tiny_dataset):
+        region = inject_sybil_region(tiny_dataset, n_sybils=10, n_bridges=3, seed=2)
+        assert len(region.bridges) == 3
+        for bridge in region.bridges:
+            assert bridge.source in tiny_dataset.agents
+            assert bridge.target in region.sybils
+
+    def test_zero_bridges_region_unreachable(self, tiny_dataset):
+        from repro.trust.graph import TrustGraph
+
+        region = inject_sybil_region(tiny_dataset, n_sybils=10, n_bridges=0, seed=3)
+        graph = TrustGraph.from_dataset(region.dataset)
+        honest = sorted(tiny_dataset.agents)[0]
+        assert not graph.reachable_from(honest) & region.sybils
+
+    def test_region_densely_connected(self, tiny_dataset):
+        region = inject_sybil_region(
+            tiny_dataset, n_sybils=10, n_bridges=0, seed=4, internal_degree=4
+        )
+        internal = [
+            s
+            for s in region.dataset.iter_trust()
+            if s.source in region.sybils and s.target in region.sybils
+        ]
+        assert len(internal) == 10 * 4
+        assert all(s.value == 1.0 for s in internal)
+
+    def test_validates_dataset(self, tiny_dataset):
+        region = inject_sybil_region(tiny_dataset, n_sybils=5, n_bridges=1, seed=5)
+        region.dataset.validate()
+
+    def test_invalid_parameters(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            inject_sybil_region(tiny_dataset, n_sybils=0, n_bridges=0)
+        with pytest.raises(ValueError):
+            inject_sybil_region(tiny_dataset, n_sybils=5, n_bridges=-1)
+
+    def test_deterministic(self, tiny_dataset):
+        first = inject_sybil_region(tiny_dataset, n_sybils=8, n_bridges=2, seed=7)
+        second = inject_sybil_region(tiny_dataset, n_sybils=8, n_bridges=2, seed=7)
+        assert first.dataset.trust == second.dataset.trust
+
+
+class TestProfileCopyAttack:
+    VICTIM = "http://example.org/alice"
+
+    def test_sybils_copy_victim_profile(self, tiny_dataset):
+        attack = inject_profile_copy_attack(
+            tiny_dataset, victim=self.VICTIM, n_sybils=4, n_pushed=2, seed=1
+        )
+        victim_positives = {
+            p for p, v in tiny_dataset.ratings_of(self.VICTIM).items() if v > 0
+        }
+        for sybil in attack.sybils:
+            sybil_ratings = set(attack.dataset.ratings_of(sybil))
+            assert victim_positives <= sybil_ratings
+            assert attack.pushed_products <= sybil_ratings
+
+    def test_pushed_products_minted(self, tiny_dataset):
+        attack = inject_profile_copy_attack(
+            tiny_dataset, victim=self.VICTIM, n_sybils=2, n_pushed=3, seed=2
+        )
+        assert len(attack.pushed_products) == 3
+        for product in attack.pushed_products:
+            assert product in attack.dataset.products
+            assert product not in tiny_dataset.products
+
+    def test_no_bridges_by_default(self, tiny_dataset):
+        attack = inject_profile_copy_attack(
+            tiny_dataset, victim=self.VICTIM, n_sybils=3, seed=3
+        )
+        honest_to_sybil = [
+            s
+            for s in attack.dataset.iter_trust()
+            if s.source in tiny_dataset.agents and s.target in attack.sybils
+        ]
+        assert honest_to_sybil == []
+
+    def test_bridges_added_when_requested(self, tiny_dataset):
+        attack = inject_profile_copy_attack(
+            tiny_dataset, victim=self.VICTIM, n_sybils=3, n_bridges=2, seed=4
+        )
+        honest_to_sybil = [
+            s
+            for s in attack.dataset.iter_trust()
+            if s.source in tiny_dataset.agents and s.target in attack.sybils
+        ]
+        assert len(honest_to_sybil) == 2
+
+    def test_unknown_victim(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            inject_profile_copy_attack(tiny_dataset, victim="ghost", n_sybils=2)
+
+    def test_validates_dataset(self, tiny_dataset):
+        attack = inject_profile_copy_attack(
+            tiny_dataset, victim=self.VICTIM, n_sybils=3, seed=5
+        )
+        attack.dataset.validate()
+
+    def test_sybils_achieve_high_similarity(self, tiny_dataset, figure1):
+        """The attack premise (§3.2): copying yields near-identical profiles."""
+        from repro.core.profiles import TaxonomyProfileBuilder
+        from repro.core.similarity import cosine
+
+        attack = inject_profile_copy_attack(
+            tiny_dataset, victim=self.VICTIM, n_sybils=1, n_pushed=0, seed=6
+        )
+        builder = TaxonomyProfileBuilder(figure1)
+        victim_profile = builder.build(
+            attack.dataset.ratings_of(self.VICTIM), attack.dataset.products
+        )
+        sybil = next(iter(attack.sybils))
+        sybil_profile = builder.build(
+            attack.dataset.ratings_of(sybil), attack.dataset.products
+        )
+        assert cosine(victim_profile, sybil_profile) == pytest.approx(1.0)

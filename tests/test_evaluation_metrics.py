@@ -1,0 +1,161 @@
+"""Unit and property tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    catalog_coverage,
+    f1_score,
+    hit_rate,
+    kendall_tau,
+    mean,
+    mean_absolute_error,
+    precision_at,
+    recall_at,
+    spearman_rho,
+    standard_error,
+    stdev,
+)
+
+
+class TestTopNMetrics:
+    def test_precision(self):
+        assert precision_at(["a", "b", "c", "d"], {"a", "c"}) == 0.5
+
+    def test_precision_empty_recs(self):
+        assert precision_at([], {"a"}) == 0.0
+
+    def test_recall(self):
+        assert recall_at(["a", "b"], {"a", "c", "d", "e"}) == 0.25
+
+    def test_recall_empty_relevant(self):
+        assert recall_at(["a"], set()) == 0.0
+
+    def test_perfect_scores(self):
+        assert precision_at(["a", "b"], {"a", "b"}) == 1.0
+        assert recall_at(["a", "b"], {"a", "b"}) == 1.0
+
+    def test_f1(self):
+        assert f1_score(0.5, 0.5) == 0.5
+        assert f1_score(1.0, 0.0) == 0.0
+        assert f1_score(0.0, 0.0) == 0.0
+        assert f1_score(0.25, 0.75) == pytest.approx(0.375)
+
+    def test_hit_rate(self):
+        assert hit_rate(["a", "b"], {"b"}) == 1.0
+        assert hit_rate(["a", "b"], {"z"}) == 0.0
+        assert hit_rate([], {"z"}) == 0.0
+
+    @given(
+        recommended=st.lists(st.sampled_from("abcdefgh"), max_size=10, unique=True),
+        relevant=st.sets(st.sampled_from("abcdefgh"), max_size=8),
+    )
+    def test_property_bounds_and_consistency(self, recommended, relevant):
+        p = precision_at(recommended, relevant)
+        r = recall_at(recommended, relevant)
+        f = f1_score(p, r)
+        assert 0.0 <= p <= 1.0
+        assert 0.0 <= r <= 1.0
+        assert min(p, r) - 1e-12 <= f <= max(p, r) + 1e-12
+        if recommended and relevant:
+            hits = len(set(recommended) & relevant)
+            assert p == hits / len(recommended)
+            assert r == hits / len(relevant)
+
+
+class TestErrorMetrics:
+    def test_mae(self):
+        predicted = {"a": 1.0, "b": 0.0, "c": 5.0}
+        actual = {"a": 0.5, "b": 1.0, "z": 9.0}
+        assert mean_absolute_error(predicted, actual) == pytest.approx(0.75)
+
+    def test_mae_disjoint(self):
+        assert mean_absolute_error({"a": 1.0}, {"b": 1.0}) == 0.0
+
+
+class TestCoverage:
+    def test_catalog_coverage(self):
+        lists = [["a", "b"], ["b", "c"]]
+        assert catalog_coverage(lists, catalog_size=6) == pytest.approx(0.5)
+
+    def test_empty_catalog(self):
+        assert catalog_coverage([["a"]], catalog_size=0) == 0.0
+
+
+class TestRankCorrelation:
+    def test_kendall_perfect(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == 1.0
+
+    def test_kendall_reversed(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == -1.0
+
+    def test_kendall_known_value(self):
+        # One discordant pair of three: (3 choose 2)=3 pairs, 2 - 1 = 1/3.
+        assert kendall_tau([1, 2, 3], [1, 3, 2]) == pytest.approx(1 / 3)
+
+    def test_kendall_short_input(self):
+        assert kendall_tau([1], [2]) == 0.0
+
+    def test_kendall_length_mismatch(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, 2], [1])
+
+    def test_spearman_perfect(self):
+        assert spearman_rho([1, 2, 3], [4, 9, 11]) == pytest.approx(1.0)
+
+    def test_spearman_reversed(self):
+        assert spearman_rho([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_spearman_with_ties(self):
+        value = spearman_rho([1.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert -1.0 <= value <= 1.0
+
+    def test_spearman_constant_degenerate(self):
+        assert spearman_rho([1, 1, 1], [1, 2, 3]) == 0.0
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    def test_property_self_correlation(self, values):
+        # tau-a counts tied pairs as neither concordant nor discordant, so
+        # perfect self-correlation only holds for tie-free sequences.
+        if len(set(values)) == len(values) and len(values) > 1:
+            assert kendall_tau(values, values) == pytest.approx(1.0)
+        if len(set(values)) > 1:
+            assert spearman_rho(values, values) == pytest.approx(1.0)
+
+    @given(
+        left=st.lists(st.integers(0, 50), min_size=2, max_size=15),
+        right=st.lists(st.integers(0, 50), min_size=2, max_size=15),
+    )
+    def test_property_bounded_symmetric(self, left, right):
+        n = min(len(left), len(right))
+        left, right = left[:n], right[:n]
+        for func in (kendall_tau, spearman_rho):
+            value = func(left, right)
+            assert -1.0 <= value <= 1.0
+            assert value == pytest.approx(func(right, left))
+
+
+class TestStatistics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_stdev(self):
+        assert stdev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.13809, abs=1e-4
+        )
+        assert stdev([1.0]) == 0.0
+
+    def test_standard_error(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert standard_error(values) == pytest.approx(stdev(values) / 2.0)
+        assert standard_error([1.0]) == 0.0

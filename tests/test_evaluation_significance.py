@@ -1,0 +1,123 @@
+"""Unit tests for significance testing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.evaluation.significance import (
+    bootstrap_confidence_interval,
+    compare_recommenders,
+    paired_permutation_test,
+)
+
+
+class TestPermutationTest:
+    def test_identical_sequences_not_significant(self):
+        values = [0.1, 0.2, 0.3, 0.4]
+        assert paired_permutation_test(values, values) == 1.0
+
+    def test_large_consistent_difference_significant(self):
+        rng = random.Random(1)
+        base = [rng.uniform(0.0, 0.2) for _ in range(30)]
+        better = [v + 0.5 for v in base]
+        p = paired_permutation_test(better, base, rounds=2000, seed=2)
+        assert p < 0.01
+
+    def test_pure_noise_not_significant(self):
+        rng = random.Random(3)
+        first = [rng.gauss(0.5, 0.1) for _ in range(30)]
+        second = [rng.gauss(0.5, 0.1) for _ in range(30)]
+        p = paired_permutation_test(first, second, rounds=2000, seed=4)
+        assert p > 0.05
+
+    def test_symmetry(self):
+        first = [0.9, 0.8, 0.7, 0.95, 0.85]
+        second = [0.1, 0.2, 0.15, 0.1, 0.2]
+        p_forward = paired_permutation_test(first, second, rounds=1000, seed=5)
+        p_backward = paired_permutation_test(second, first, rounds=1000, seed=5)
+        assert p_forward == p_backward
+
+    def test_p_never_exactly_zero(self):
+        first = [1.0] * 20
+        second = [0.0] * 20
+        p = paired_permutation_test(first, second, rounds=500, seed=6)
+        assert 0.0 < p < 0.01
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_permutation_test([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        assert paired_permutation_test([], []) == 1.0
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            paired_permutation_test([1.0], [0.5], rounds=0)
+
+
+class TestBootstrapCI:
+    def test_interval_covers_true_difference(self):
+        rng = random.Random(7)
+        base = [rng.uniform(0.0, 1.0) for _ in range(50)]
+        shifted = [v + 0.3 + rng.gauss(0.0, 0.05) for v in base]
+        low, high = bootstrap_confidence_interval(shifted, base, rounds=2000, seed=8)
+        assert low <= 0.3 + 0.03  # mean shift inside/near the interval
+        assert high >= 0.3 - 0.03
+        assert low > 0.0  # clearly positive difference
+        assert low < high  # a genuine interval
+
+    def test_zero_difference_interval_straddles_zero(self):
+        rng = random.Random(9)
+        first = [rng.gauss(0.5, 0.2) for _ in range(40)]
+        second = [v + rng.gauss(0.0, 0.2) for v in first]
+        low, high = bootstrap_confidence_interval(first, second, rounds=2000, seed=10)
+        assert low <= 0.0 <= high or abs(low) < 0.15
+
+    def test_empty(self):
+        assert bootstrap_confidence_interval([], []) == (0.0, 0.0)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1.0], [0.5], confidence=1.0)
+
+    def test_deterministic(self):
+        first = [0.5, 0.6, 0.7]
+        second = [0.4, 0.5, 0.6]
+        a = bootstrap_confidence_interval(first, second, rounds=500, seed=11)
+        b = bootstrap_confidence_interval(first, second, rounds=500, seed=11)
+        assert a == b
+
+
+class TestCompareRecommenders:
+    def test_personalized_vs_random_significant(self, small_community):
+        from repro.core.recommender import PopularityRecommender, RandomRecommender
+        from repro.evaluation.protocol import holdout_split
+
+        split = holdout_split(
+            small_community.dataset, per_user=3, min_ratings=8, max_users=30, seed=12
+        )
+        result = compare_recommenders(
+            PopularityRecommender(dataset=split.train),
+            RandomRecommender(dataset=split.train),
+            split,
+            rounds=1000,
+            seed=13,
+        )
+        assert result.n_users == 30
+        assert result.mean_difference >= 0.0
+        assert 0.0 < result.p_value <= 1.0
+
+    def test_self_comparison_not_significant(self, small_community):
+        from repro.core.recommender import PopularityRecommender
+        from repro.evaluation.protocol import holdout_split
+
+        split = holdout_split(
+            small_community.dataset, per_user=3, min_ratings=8, max_users=20, seed=14
+        )
+        method = PopularityRecommender(dataset=split.train)
+        result = compare_recommenders(method, method, split, rounds=500, seed=15)
+        assert result.mean_difference == 0.0
+        assert result.p_value == 1.0
+        assert not result.significant

@@ -1,0 +1,225 @@
+"""Cross-module property-based tests (hypothesis).
+
+Each test states one system-level invariant and checks it over generated
+inputs: serialization round trips, order insensitivity, determinism,
+monotonicity.  Module-local properties live next to their modules; the
+ones here span layer boundaries.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import Agent, Dataset, Product, Rating, TrustStatement
+from repro.core.profiles import TaxonomyProfileBuilder
+from repro.core.synthesis import LinearBlend
+from repro.core.taxonomy import figure1_fragment
+from repro.datasets.io import load_dataset, save_dataset
+from repro.semweb.foaf import parse_agent_homepage, publish_agent
+from repro.semweb.serializer import parse_ntriples, serialize_ntriples
+from repro.web.weblog import LinkMiner, publish_weblogs, weblog_uri
+
+# -- strategies --------------------------------------------------------------
+
+_AGENT_URIS = [f"http://a.example.org/u{i}" for i in range(6)]
+_PRODUCT_IDS = [f"isbn:978000000000{i}" for i in range(8)]
+_TOPICS = ["Algebra", "Calculus", "Physics", "Literature", "Pure"]
+
+_scores = st.floats(min_value=-1.0, max_value=1.0).map(lambda v: round(v, 4))
+_positive_scores = st.floats(min_value=0.05, max_value=1.0).map(lambda v: round(v, 4))
+
+
+@st.composite
+def datasets(draw) -> Dataset:
+    """Small random—but always referentially valid—datasets."""
+    dataset = Dataset()
+    agents = draw(st.lists(st.sampled_from(_AGENT_URIS), min_size=2, unique=True))
+    for uri in agents:
+        dataset.add_agent(Agent(uri=uri, name=uri.rsplit("/", 1)[-1]))
+    products = draw(
+        st.lists(st.sampled_from(_PRODUCT_IDS), min_size=1, unique=True)
+    )
+    for identifier in products:
+        descriptors = draw(
+            st.frozensets(st.sampled_from(_TOPICS), max_size=3)
+        )
+        dataset.add_product(
+            Product(identifier=identifier, title=identifier, descriptors=descriptors)
+        )
+    n_trust = draw(st.integers(0, 8))
+    for _ in range(n_trust):
+        source = draw(st.sampled_from(agents))
+        target = draw(st.sampled_from(agents))
+        if source != target:
+            dataset.add_trust(
+                TrustStatement(source=source, target=target, value=draw(_scores))
+            )
+    n_ratings = draw(st.integers(0, 12))
+    for _ in range(n_ratings):
+        dataset.add_rating(
+            Rating(
+                agent=draw(st.sampled_from(agents)),
+                product=draw(st.sampled_from(products)),
+                value=draw(_scores),
+            )
+        )
+    return dataset
+
+
+# -- properties ---------------------------------------------------------------
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(datasets())
+def test_dataset_jsonl_roundtrip(tmp_path_factory, dataset):
+    """save_dataset ∘ load_dataset is the identity."""
+    path = tmp_path_factory.mktemp("prop") / "data.jsonl"
+    save_dataset(dataset, path)
+    loaded = load_dataset(path)
+    assert loaded.agents == dataset.agents
+    assert loaded.products == dataset.products
+    assert loaded.trust == dataset.trust
+    assert loaded.ratings == dataset.ratings
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trust=st.dictionaries(
+        st.sampled_from(_AGENT_URIS[1:]), _scores, max_size=5
+    ),
+    ratings=st.dictionaries(st.sampled_from(_PRODUCT_IDS), _scores, max_size=6),
+)
+def test_foaf_homepage_roundtrip(trust, ratings):
+    """publish → N-Triples → parse recovers agent, trust, and ratings."""
+    agent = Agent(uri=_AGENT_URIS[0], name="Prop Agent")
+    graph = publish_agent(agent, trust, ratings)
+    text = serialize_ntriples(graph)
+    parsed_agent, parsed_trust, parsed_ratings = parse_agent_homepage(
+        parse_ntriples(text)
+    )
+    assert parsed_agent == agent
+    assert {(s.target, s.value) for s in parsed_trust} == set(trust.items())
+    assert {(r.product, r.value) for r in parsed_ratings} == set(ratings.items())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ratings=st.dictionaries(
+        st.sampled_from(_PRODUCT_IDS), _positive_scores, min_size=1, max_size=6
+    )
+)
+def test_weblog_mining_roundtrip(ratings):
+    """publish_weblogs → LinkMiner recovers the exact rating function."""
+    from repro.web.network import SimulatedWeb
+
+    dataset = Dataset()
+    uri = _AGENT_URIS[0]
+    dataset.add_agent(Agent(uri=uri))
+    for identifier in ratings:
+        dataset.add_product(Product(identifier=identifier))
+    for identifier, value in ratings.items():
+        dataset.add_rating(Rating(agent=uri, product=identifier, value=value))
+
+    web = SimulatedWeb()
+    publish_weblogs(web, dataset)
+    miner = LinkMiner(known_products=frozenset(dataset.products))
+    mined = miner.mine(uri, web.fetch(weblog_uri(uri)).body)
+    assert {(r.product, r.value) for r in mined} == set(ratings.items())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(st.sampled_from(_PRODUCT_IDS), _positive_scores),
+        min_size=1,
+        max_size=8,
+        unique_by=lambda pair: pair[0],
+    )
+)
+def test_profile_builder_order_insensitive(entries):
+    """Profiles do not depend on rating iteration order."""
+    taxonomy = figure1_fragment()
+    products = {
+        identifier: Product(
+            identifier=identifier,
+            descriptors=frozenset({_TOPICS[i % len(_TOPICS)]}),
+        )
+        for i, identifier in enumerate(_PRODUCT_IDS)
+    }
+    builder = TaxonomyProfileBuilder(taxonomy)
+    forward = builder.build(dict(entries), products)
+    backward = builder.build(dict(reversed(entries)), products)
+    assert set(forward) == set(backward)
+    for topic, value in forward.items():
+        assert backward[topic] == pytest.approx(value)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trust=st.dictionaries(
+        st.sampled_from(list("abcdef")),
+        st.floats(min_value=0.0, max_value=1.0),
+        min_size=1,
+        max_size=6,
+    ),
+    similarity=st.dictionaries(
+        st.sampled_from(list("abcdef")),
+        st.floats(min_value=-1.0, max_value=1.0),
+        max_size=6,
+    ),
+    bump=st.floats(min_value=0.01, max_value=0.5),
+    gamma=st.floats(min_value=0.1, max_value=1.0),
+)
+def test_linear_blend_monotone_in_trust(trust, similarity, bump, gamma):
+    """Raising one peer's trust never lowers its merged weight."""
+    strategy = LinearBlend(gamma=gamma)
+    baseline = strategy.merge(trust, similarity)
+    peer = sorted(trust)[0]
+    bumped_trust = dict(trust)
+    bumped_trust[peer] = min(1.0, bumped_trust[peer] + bump)
+    bumped = strategy.merge(bumped_trust, similarity)
+    assert bumped.get(peer, 0.0) >= baseline.get(peer, 0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_community_generation_deterministic(seed):
+    """Equal seeds produce byte-identical communities."""
+    from repro.datasets.generators import CommunityConfig, generate_community
+
+    config = CommunityConfig(n_agents=20, n_products=30, n_clusters=3, seed=seed)
+    first = generate_community(config)
+    second = generate_community(config)
+    assert first.dataset.trust == second.dataset.trust
+    assert first.dataset.ratings == second.dataset.ratings
+    assert first.membership == second.membership
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    limit=st.integers(1, 15),
+)
+def test_recommender_contract(seed, limit):
+    """For any community: recommendations are deduplicated, sorted by
+    score, exclude the principal's rated products, and are deterministic."""
+    from repro.core.recommender import SemanticWebRecommender
+    from repro.datasets.generators import CommunityConfig, generate_community
+
+    config = CommunityConfig(n_agents=25, n_products=40, n_clusters=3, seed=seed)
+    community = generate_community(config)
+    recommender = SemanticWebRecommender.from_dataset(
+        community.dataset, community.taxonomy
+    )
+    agent = sorted(community.dataset.agents)[seed % 25]
+    first = recommender.recommend(agent, limit=limit)
+    second = recommender.recommend(agent, limit=limit)
+    assert first == second
+    assert len(first) <= limit
+    products = [r.product for r in first]
+    assert len(products) == len(set(products))
+    scores = [r.score for r in first]
+    assert scores == sorted(scores, reverse=True)
+    assert not set(products) & set(community.dataset.ratings_of(agent))

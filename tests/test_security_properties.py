@@ -1,0 +1,122 @@
+"""Security properties of the decentralized document architecture (§2).
+
+§2: "Spoofing and identity forging become facile to achieve."  The
+architecture's defense is *document anchoring*: trust statements are
+only believed when they appear in the truster's own homepage, fetched
+from the truster's own URI.  A malicious publisher can write any triples
+into its *own* document, but cannot make the system attribute a trust
+statement (or rating) to someone else.  These tests pin that property.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Agent
+from repro.semweb.foaf import parse_agent_homepage, publish_agent
+from repro.semweb.namespace import FOAF, RDF, TRUST
+from repro.semweb.rdf import BNode, Literal, URIRef
+from repro.semweb.serializer import parse_ntriples, serialize_ntriples
+from repro.web.crawler import Crawler
+from repro.web.network import SimulatedWeb
+
+ALICE = "http://example.org/alice"
+MALLORY = "http://example.org/mallory"
+
+
+def _forged_homepage() -> str:
+    """Mallory's homepage containing forged 'alice trusts mallory' triples."""
+    graph = publish_agent(
+        Agent(uri=MALLORY, name="Mallory"),
+        trust={},
+        ratings={},
+    )
+    statement = BNode("forged")
+    graph.add((URIRef(ALICE), TRUST.trusts, statement))
+    graph.add((statement, TRUST.target, URIRef(MALLORY)))
+    graph.add((statement, TRUST.value, Literal(1.0)))
+    # Forged rating attribution too.
+    rating = BNode("forgedrating")
+    from repro.semweb.namespace import REPRO
+
+    graph.add((URIRef(ALICE), REPRO.rates, rating))
+    graph.add((rating, REPRO.product, URIRef("isbn:evil")))
+    graph.add((rating, REPRO.value, Literal(1.0)))
+    return serialize_ntriples(graph)
+
+
+class TestForgedStatementsIgnored:
+    def test_parser_attributes_nothing_to_third_parties(self):
+        """Statements with a non-principal subject never become data."""
+        agent, trust, ratings = parse_agent_homepage(
+            parse_ntriples(_forged_homepage())
+        )
+        assert agent.uri == MALLORY
+        # The forged alice->mallory statement is NOT returned: statements
+        # are read from the document principal only.
+        assert all(s.source == MALLORY for s in trust)
+        assert trust == []
+        assert all(r.agent == MALLORY for r in ratings)
+        assert ratings == []
+
+    def test_impersonation_by_typing_victim_rejected(self):
+        """Typing the victim as foaf:Person makes the document ambiguous
+        and the parser rejects it outright."""
+        graph = parse_ntriples(_forged_homepage())
+        graph.add((URIRef(ALICE), RDF.type, FOAF.Person))
+        with pytest.raises(ValueError, match="exactly one foaf:Person"):
+            parse_agent_homepage(graph)
+
+    def test_crawler_assembly_unaffected_by_forgery(self):
+        """End to end: alice's real (empty-trust) homepage wins; mallory's
+        forged triples never reach the assembled dataset."""
+        web = SimulatedWeb()
+        alice_graph = publish_agent(Agent(uri=ALICE, name="Alice"), {}, {})
+        web.publish(ALICE, serialize_ntriples(alice_graph))
+        web.publish(MALLORY, _forged_homepage())
+
+        crawler = Crawler(web=web)
+        crawler.crawl([ALICE, MALLORY])
+        dataset, failures = crawler.store.assemble_dataset()
+        assert failures == []
+        assert dataset.trust_of(ALICE) == {}
+        assert dataset.ratings_of(ALICE) == {}
+
+    def test_self_serving_statements_remain_self_attributed(self):
+        """Mallory CAN say anything about its own trust — that is allowed
+        and correctly attributed (subjective statements are by design)."""
+        graph = publish_agent(
+            Agent(uri=MALLORY, name="Mallory"),
+            trust={ALICE: 1.0},
+            ratings={"isbn:evil": 1.0},
+        )
+        _, trust, ratings = parse_agent_homepage(graph)
+        assert [(s.source, s.target) for s in trust] == [(MALLORY, ALICE)]
+        assert [(r.agent, r.product) for r in ratings] == [(MALLORY, "isbn:evil")]
+
+    def test_forged_incoming_trust_gives_no_appleseed_rank(self):
+        """Even if mallory's document is crawled, mallory earns rank only
+        through *outgoing* edges of honest documents, which do not exist."""
+        from repro.trust.appleseed import Appleseed
+        from repro.trust.graph import TrustGraph
+
+        web = SimulatedWeb()
+        bob = "http://example.org/bob"
+        web.publish(
+            ALICE,
+            serialize_ntriples(
+                publish_agent(Agent(uri=ALICE, name="Alice"), {bob: 0.9}, {})
+            ),
+        )
+        web.publish(
+            bob,
+            serialize_ntriples(publish_agent(Agent(uri=bob, name="Bob"), {}, {})),
+        )
+        web.publish(MALLORY, _forged_homepage())
+        crawler = Crawler(web=web)
+        crawler.crawl([ALICE, MALLORY])
+        dataset, _ = crawler.store.assemble_dataset()
+        graph = TrustGraph.from_dataset(dataset)
+        result = Appleseed().compute(graph, ALICE)
+        assert result.ranks.get(MALLORY, 0.0) == 0.0
+        assert result.ranks.get(bob, 0.0) > 0.0

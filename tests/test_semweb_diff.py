@@ -1,0 +1,119 @@
+"""Unit tests for graph diffing and homepage update summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Agent
+from repro.semweb.diff import graph_diff, summarize_homepage_update
+from repro.semweb.foaf import publish_agent
+from repro.semweb.rdf import Graph, Literal, URIRef
+
+ALICE = Agent(uri="http://example.org/alice", name="Alice")
+BOB = "http://example.org/bob"
+CAROL = "http://example.org/carol"
+
+
+class TestGraphDiff:
+    def test_identical_graphs_empty_delta(self):
+        graph = Graph([(URIRef("u:s"), URIRef("u:p"), Literal(1))])
+        delta = graph_diff(graph, graph.copy())
+        assert delta.is_empty
+        assert len(delta) == 0
+
+    def test_added_and_removed(self):
+        t1 = (URIRef("u:s"), URIRef("u:p"), Literal(1))
+        t2 = (URIRef("u:s"), URIRef("u:p"), Literal(2))
+        delta = graph_diff(Graph([t1]), Graph([t2]))
+        assert delta.added == {t2}
+        assert delta.removed == {t1}
+        assert len(delta) == 2
+
+    def test_diff_is_antisymmetric(self):
+        old = Graph([(URIRef("u:a"), URIRef("u:p"), Literal(1))])
+        new = Graph([(URIRef("u:b"), URIRef("u:p"), Literal(1))])
+        forward = graph_diff(old, new)
+        backward = graph_diff(new, old)
+        assert forward.added == backward.removed
+        assert forward.removed == backward.added
+
+
+class TestHomepageUpdate:
+    def test_no_change(self):
+        graph = publish_agent(ALICE, {BOB: 0.8}, {"isbn:1": 1.0})
+        update = summarize_homepage_update(graph, graph.copy())
+        assert update.is_empty
+        assert not update.affects_trust_graph
+        assert not update.affects_profiles
+
+    def test_trust_added(self):
+        old = publish_agent(ALICE, {BOB: 0.8}, {})
+        new = publish_agent(ALICE, {BOB: 0.8, CAROL: 0.5}, {})
+        update = summarize_homepage_update(old, new)
+        assert [s.target for s in update.trust_added] == [CAROL]
+        assert update.trust_removed == ()
+        assert update.affects_trust_graph
+        assert not update.affects_profiles
+
+    def test_trust_retracted(self):
+        old = publish_agent(ALICE, {BOB: 0.8, CAROL: 0.5}, {})
+        new = publish_agent(ALICE, {BOB: 0.8}, {})
+        update = summarize_homepage_update(old, new)
+        assert [s.target for s in update.trust_removed] == [CAROL]
+
+    def test_trust_revalued(self):
+        old = publish_agent(ALICE, {BOB: 0.8}, {})
+        new = publish_agent(ALICE, {BOB: -0.4}, {})
+        update = summarize_homepage_update(old, new)
+        assert len(update.trust_changed) == 1
+        assert update.trust_changed[0].value == -0.4
+        assert update.trust_added == ()
+        assert update.trust_removed == ()
+
+    def test_rating_lifecycle(self):
+        old = publish_agent(ALICE, {}, {"isbn:1": 1.0, "isbn:2": 0.5})
+        new = publish_agent(ALICE, {}, {"isbn:2": 0.9, "isbn:3": 1.0})
+        update = summarize_homepage_update(old, new)
+        assert [r.product for r in update.ratings_added] == ["isbn:3"]
+        assert [r.product for r in update.ratings_removed] == ["isbn:1"]
+        assert [r.product for r in update.ratings_changed] == ["isbn:2"]
+        assert update.ratings_changed[0].value == 0.9
+        assert update.affects_profiles
+        assert not update.affects_trust_graph
+
+    def test_principal_change_rejected(self):
+        old = publish_agent(ALICE, {}, {})
+        new = publish_agent(Agent(uri=BOB, name="Bob"), {}, {})
+        with pytest.raises(ValueError, match="principal changed"):
+            summarize_homepage_update(old, new)
+
+    def test_end_to_end_with_crawler_versions(self, small_community):
+        """Diff the stored replica against a staged update, as a consumer
+        reacting to a refresh would."""
+        from repro.semweb.serializer import parse_ntriples, serialize_ntriples
+        from repro.web.crawler import Crawler, publish_community
+        from repro.web.network import SimulatedWeb
+
+        dataset = small_community.dataset
+        web = SimulatedWeb()
+        publish_community(web, dataset, small_community.taxonomy)
+        seed = sorted(dataset.agents)[0]
+        crawler = Crawler(web=web)
+        crawler.crawl([seed])
+        old_body = crawler.store.get(seed).body
+
+        ratings = dict(dataset.ratings_of(seed))
+        new_product = sorted(p for p in dataset.products if p not in ratings)[0]
+        ratings[new_product] = 1.0
+        new_body = serialize_ntriples(
+            publish_agent(dataset.agents[seed], dataset.trust_of(seed), ratings)
+        )
+        web.publish(seed, new_body)
+        crawler.refresh()
+
+        update = summarize_homepage_update(
+            parse_ntriples(old_body),
+            parse_ntriples(crawler.store.get(seed).body),
+        )
+        assert [r.product for r in update.ratings_added] == [new_product]
+        assert not update.affects_trust_graph

@@ -1,0 +1,163 @@
+"""Unit tests for FOAF homepage publishing and parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Agent, Product
+from repro.core.taxonomy import Taxonomy, figure1_fragment
+from repro.semweb.foaf import (
+    parse_agent_homepage,
+    parse_catalog,
+    parse_taxonomy,
+    publish_agent,
+    publish_catalog,
+    publish_taxonomy,
+)
+from repro.semweb.namespace import FOAF, RDF, TRUST
+from repro.semweb.rdf import Graph, Literal, URIRef
+from repro.semweb.serializer import parse_ntriples, serialize_ntriples
+
+ALICE = Agent(uri="http://example.org/alice", name="Alice")
+
+
+class TestAgentHomepage:
+    def test_publish_contains_person_type(self):
+        graph = publish_agent(ALICE, {}, {})
+        assert (URIRef(ALICE.uri), RDF.type, FOAF.Person) in graph
+
+    def test_publish_contains_name(self):
+        graph = publish_agent(ALICE, {}, {})
+        assert graph.value(URIRef(ALICE.uri), FOAF.name) == Literal("Alice")
+
+    def test_trust_produces_knows_link(self):
+        graph = publish_agent(ALICE, {"http://example.org/bob": 0.8}, {})
+        assert (URIRef(ALICE.uri), FOAF.knows, URIRef("http://example.org/bob")) in graph
+
+    def test_roundtrip_trust_and_ratings(self):
+        trust = {"http://example.org/bob": 0.8, "http://example.org/carol": -0.4}
+        ratings = {"isbn:1": 1.0, "isbn:2": 0.5}
+        graph = publish_agent(ALICE, trust, ratings)
+        agent, trust_out, ratings_out = parse_agent_homepage(graph)
+        assert agent == ALICE
+        assert {(s.target, s.value) for s in trust_out} == {
+            ("http://example.org/bob", 0.8),
+            ("http://example.org/carol", -0.4),
+        }
+        assert {(r.product, r.value) for r in ratings_out} == {
+            ("isbn:1", 1.0),
+            ("isbn:2", 0.5),
+        }
+
+    def test_roundtrip_through_ntriples(self):
+        trust = {"http://example.org/bob": 0.75}
+        ratings = {"isbn:42": 1.0}
+        graph = publish_agent(ALICE, trust, ratings)
+        reparsed = parse_ntriples(serialize_ntriples(graph))
+        agent, trust_out, ratings_out = parse_agent_homepage(reparsed)
+        assert agent == ALICE
+        assert trust_out[0].value == 0.75
+        assert ratings_out[0].product == "isbn:42"
+
+    def test_deterministic_serialization(self):
+        trust = {"http://example.org/b": 0.5, "http://example.org/a": 0.6}
+        first = serialize_ntriples(publish_agent(ALICE, trust, {"isbn:1": 1.0}))
+        second = serialize_ntriples(publish_agent(ALICE, trust, {"isbn:1": 1.0}))
+        assert first == second
+
+    def test_no_person_rejected(self):
+        with pytest.raises(ValueError):
+            parse_agent_homepage(Graph())
+
+    def test_two_persons_rejected(self):
+        graph = publish_agent(ALICE, {}, {})
+        graph.add((URIRef("http://example.org/bob"), RDF.type, FOAF.Person))
+        with pytest.raises(ValueError):
+            parse_agent_homepage(graph)
+
+    def test_malformed_trust_statement_skipped(self):
+        graph = publish_agent(ALICE, {"http://example.org/bob": 0.8}, {})
+        # Add a trust statement missing its value.
+        from repro.semweb.rdf import BNode
+
+        broken = BNode("broken")
+        graph.add((URIRef(ALICE.uri), TRUST.trusts, broken))
+        graph.add((broken, TRUST.target, URIRef("http://example.org/mallory")))
+        _, trust_out, _ = parse_agent_homepage(graph)
+        assert len(trust_out) == 1
+        assert trust_out[0].target == "http://example.org/bob"
+
+    def test_out_of_range_trust_value_skipped(self):
+        graph = publish_agent(ALICE, {}, {})
+        from repro.semweb.rdf import BNode
+
+        bad = BNode("bad")
+        graph.add((URIRef(ALICE.uri), TRUST.trusts, bad))
+        graph.add((bad, TRUST.target, URIRef("http://example.org/bob")))
+        graph.add((bad, TRUST.value, Literal(7.5)))
+        _, trust_out, _ = parse_agent_homepage(graph)
+        assert trust_out == []
+
+    def test_agent_without_name(self):
+        anon = Agent(uri="http://example.org/anon")
+        agent, _, _ = parse_agent_homepage(publish_agent(anon, {}, {}))
+        assert agent.name == ""
+
+
+class TestTaxonomyDocument:
+    def test_roundtrip_figure1(self):
+        taxonomy = figure1_fragment()
+        graph = publish_taxonomy(taxonomy)
+        rebuilt = parse_taxonomy(graph)
+        assert set(rebuilt) == set(taxonomy)
+        for topic in taxonomy:
+            assert rebuilt.parent(topic) == taxonomy.parent(topic)
+            assert rebuilt.label(topic) == taxonomy.label(topic)
+
+    def test_roundtrip_through_text(self):
+        taxonomy = figure1_fragment()
+        text = serialize_ntriples(publish_taxonomy(taxonomy))
+        rebuilt = parse_taxonomy(parse_ntriples(text))
+        assert rebuilt.sibling_count("Algebra") == taxonomy.sibling_count("Algebra")
+        assert rebuilt.path_to_root("Algebra") == taxonomy.path_to_root("Algebra")
+
+    def test_single_topic_taxonomy(self):
+        taxonomy = Taxonomy("Root", "Root")
+        rebuilt = parse_taxonomy(publish_taxonomy(taxonomy))
+        assert rebuilt.root == "Root"
+        assert len(rebuilt) == 1
+
+    def test_multiple_roots_rejected(self):
+        graph = publish_taxonomy(figure1_fragment())
+        from repro.semweb.foaf import _topic_uri
+        from repro.semweb.namespace import RDFS
+
+        graph.add((_topic_uri("Orphan"), RDFS.subClassOf, _topic_uri("Nowhere")))
+        with pytest.raises(ValueError):
+            parse_taxonomy(graph)
+
+
+class TestCatalogDocument:
+    def test_roundtrip(self):
+        products = {
+            "isbn:1": Product(
+                identifier="isbn:1",
+                title="Matrix Analysis",
+                descriptors=frozenset({"Algebra", "Physics"}),
+            ),
+            "isbn:2": Product(identifier="isbn:2", title="Snow Crash"),
+        }
+        rebuilt = parse_catalog(publish_catalog(products))
+        assert rebuilt == products
+
+    def test_roundtrip_through_text(self):
+        products = {
+            "isbn:9": Product(
+                identifier="isbn:9", title="T", descriptors=frozenset({"Algebra"})
+            )
+        }
+        text = serialize_ntriples(publish_catalog(products))
+        assert parse_catalog(parse_ntriples(text)) == products
+
+    def test_empty_catalog(self):
+        assert parse_catalog(publish_catalog({})) == {}

@@ -1,0 +1,46 @@
+"""Unit tests for namespace helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semweb.namespace import FOAF, RDF, RDFS, REPRO, TRUST, Namespace
+from repro.semweb.rdf import URIRef
+
+
+class TestNamespace:
+    def test_attribute_access_mints_uriref(self):
+        ns = Namespace("http://example.org/ns#")
+        term = ns.thing
+        assert isinstance(term, URIRef)
+        assert term == "http://example.org/ns#thing"
+
+    def test_item_access(self):
+        ns = Namespace("http://example.org/ns#")
+        assert ns["other"] == "http://example.org/ns#other"
+
+    def test_term_method(self):
+        ns = Namespace("http://example.org/ns#")
+        # 'title' shadows str.title; term() avoids the collision.
+        assert ns.term("title") == "http://example.org/ns#title"
+
+    def test_dunder_access_raises(self):
+        ns = Namespace("http://example.org/ns#")
+        with pytest.raises(AttributeError):
+            ns.__wrapped__
+
+
+class TestVocabularies:
+    def test_rdf_type(self):
+        assert RDF.type == "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+    def test_rdfs_subclassof(self):
+        assert RDFS.subClassOf.endswith("rdf-schema#subClassOf")
+
+    def test_foaf_terms(self):
+        assert FOAF.knows == "http://xmlns.com/foaf/0.1/knows"
+        assert FOAF.Person == "http://xmlns.com/foaf/0.1/Person"
+
+    def test_project_namespaces_distinct(self):
+        assert TRUST != REPRO
+        assert TRUST.value != REPRO.value

@@ -1,0 +1,143 @@
+"""Unit tests for the BGP query engine."""
+
+from __future__ import annotations
+
+from repro.semweb.namespace import FOAF, RDF, TRUST
+from repro.semweb.query import Variable, select, select_one
+from repro.semweb.rdf import Graph, Literal, URIRef
+
+EX = "http://example.org/"
+
+
+def uri(name: str) -> URIRef:
+    return URIRef(EX + name)
+
+
+def knows_graph() -> Graph:
+    graph = Graph()
+    graph.add((uri("alice"), FOAF.knows, uri("bob")))
+    graph.add((uri("alice"), FOAF.knows, uri("carol")))
+    graph.add((uri("bob"), FOAF.knows, uri("carol")))
+    graph.add((uri("alice"), FOAF.name, Literal("Alice")))
+    graph.add((uri("bob"), FOAF.name, Literal("Bob")))
+    graph.add((uri("carol"), FOAF.name, Literal("Carol")))
+    return graph
+
+
+class TestSelect:
+    def test_single_pattern(self):
+        x = Variable("x")
+        results = select(knows_graph(), [(uri("alice"), FOAF.knows, x)])
+        assert {b[x] for b in results} == {uri("bob"), uri("carol")}
+
+    def test_join_two_patterns(self):
+        x, name = Variable("x"), Variable("name")
+        results = select(
+            knows_graph(),
+            [
+                (uri("alice"), FOAF.knows, x),
+                (x, FOAF.name, name),
+            ],
+        )
+        assert {(b[x], b[name].lexical) for b in results} == {
+            (uri("bob"), "Bob"),
+            (uri("carol"), "Carol"),
+        }
+
+    def test_triangle_join(self):
+        x, y = Variable("x"), Variable("y")
+        results = select(
+            knows_graph(),
+            [
+                (uri("alice"), FOAF.knows, x),
+                (x, FOAF.knows, y),
+                (uri("alice"), FOAF.knows, y),
+            ],
+        )
+        assert len(results) == 1
+        assert results[0][x] == uri("bob")
+        assert results[0][y] == uri("carol")
+
+    def test_no_solutions(self):
+        x = Variable("x")
+        assert select(knows_graph(), [(uri("carol"), FOAF.knows, x)]) == []
+
+    def test_repeated_variable_in_pattern(self):
+        graph = Graph()
+        graph.add((uri("n"), uri("p"), uri("n")))
+        graph.add((uri("n"), uri("p"), uri("m")))
+        x = Variable("x")
+        results = select(graph, [(x, uri("p"), x)])
+        assert len(results) == 1
+        assert results[0][x] == uri("n")
+
+    def test_all_variables(self):
+        s, p, o = Variable("s"), Variable("p"), Variable("o")
+        results = select(knows_graph(), [(s, p, o)])
+        assert len(results) == 6
+
+    def test_empty_patterns(self):
+        assert select(knows_graph(), []) == []
+
+    def test_deterministic_order(self):
+        x = Variable("x")
+        patterns = [(uri("alice"), FOAF.knows, x)]
+        assert select(knows_graph(), patterns) == select(knows_graph(), patterns)
+
+    def test_variable_repr(self):
+        assert repr(Variable("x")) == "?x"
+
+
+class TestSelectOne:
+    def test_existence(self):
+        x = Variable("x")
+        binding = select_one(knows_graph(), [(uri("alice"), FOAF.knows, x)])
+        assert binding is not None
+        assert binding[x] in {uri("bob"), uri("carol")}
+
+    def test_absence(self):
+        x = Variable("x")
+        assert select_one(knows_graph(), [(x, FOAF.knows, uri("alice"))]) is None
+
+    def test_empty_patterns(self):
+        assert select_one(knows_graph(), []) is None
+
+
+class TestOnPublishedHomepage:
+    """Query a real published FOAF homepage — the intended use case."""
+
+    def test_trust_values_above_threshold(self):
+        from repro.core.models import Agent
+        from repro.semweb.foaf import publish_agent
+
+        agent = Agent(uri=EX + "alice", name="Alice")
+        graph = publish_agent(
+            agent,
+            {EX + "bob": 0.9, EX + "carol": 0.3, EX + "mallory": -0.8},
+            {},
+        )
+        stmt, target, value = Variable("stmt"), Variable("target"), Variable("value")
+        results = select(
+            graph,
+            [
+                (uri("alice"), TRUST.trusts, stmt),
+                (stmt, TRUST.target, target),
+                (stmt, TRUST.value, value),
+            ],
+        )
+        strong = {
+            str(b[target])
+            for b in results
+            if float(b[value].to_python()) > 0.5
+        }
+        assert strong == {EX + "bob"}
+
+    def test_person_typed_principal(self):
+        from repro.core.models import Agent
+        from repro.semweb.foaf import publish_agent
+
+        graph = publish_agent(Agent(uri=EX + "alice", name="Alice"), {}, {})
+        who = Variable("who")
+        binding = select_one(graph, [(who, RDF.type, FOAF.Person)])
+        assert binding is not None
+        assert binding[who] == uri("alice")

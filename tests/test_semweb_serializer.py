@@ -1,0 +1,194 @@
+"""Unit and property tests for N-Triples serialization and parsing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semweb.rdf import BNode, Graph, Literal, URIRef
+from repro.semweb.serializer import (
+    ParseError,
+    parse_ntriples,
+    serialize_ntriples,
+    serialize_turtle,
+)
+
+EX = "http://example.org/"
+
+
+def uri(name: str) -> URIRef:
+    return URIRef(EX + name)
+
+
+class TestSerialize:
+    def test_empty_graph(self):
+        assert serialize_ntriples(Graph()) == ""
+
+    def test_single_triple(self):
+        graph = Graph([(uri("s"), uri("p"), uri("o"))])
+        text = serialize_ntriples(graph)
+        assert text == f"<{EX}s> <{EX}p> <{EX}o> .\n"
+
+    def test_output_is_sorted(self):
+        graph = Graph()
+        graph.add((uri("z"), uri("p"), uri("o")))
+        graph.add((uri("a"), uri("p"), uri("o")))
+        lines = serialize_ntriples(graph).splitlines()
+        assert lines == sorted(lines)
+
+    def test_literal_with_datatype(self):
+        graph = Graph([(uri("s"), uri("p"), Literal(3))])
+        text = serialize_ntriples(graph)
+        assert '"3"^^<http://www.w3.org/2001/XMLSchema#integer>' in text
+
+    def test_literal_with_language(self):
+        graph = Graph([(uri("s"), uri("p"), Literal("Buch", language="de"))])
+        assert '"Buch"@de' in serialize_ntriples(graph)
+
+    def test_bnode(self):
+        graph = Graph([(BNode("b0"), uri("p"), uri("o"))])
+        assert serialize_ntriples(graph).startswith("_:b0 ")
+
+
+class TestParse:
+    def test_empty(self):
+        assert len(parse_ntriples("")) == 0
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# a comment\n\n" f"<{EX}s> <{EX}p> <{EX}o> .\n"
+        graph = parse_ntriples(text)
+        assert len(graph) == 1
+
+    def test_parse_uri_triple(self):
+        graph = parse_ntriples(f"<{EX}s> <{EX}p> <{EX}o> .")
+        assert (uri("s"), uri("p"), uri("o")) in graph
+
+    def test_parse_plain_literal(self):
+        graph = parse_ntriples(f'<{EX}s> <{EX}p> "hello" .')
+        assert (uri("s"), uri("p"), Literal("hello")) in graph
+
+    def test_parse_typed_literal(self):
+        text = f'<{EX}s> <{EX}p> "2"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        graph = parse_ntriples(text)
+        obj = graph.value(uri("s"), uri("p"))
+        assert isinstance(obj, Literal)
+        assert obj.to_python() == 2
+
+    def test_parse_language_literal(self):
+        graph = parse_ntriples(f'<{EX}s> <{EX}p> "livre"@fr .')
+        obj = graph.value(uri("s"), uri("p"))
+        assert obj == Literal("livre", language="fr")
+
+    def test_parse_bnode_subject(self):
+        graph = parse_ntriples(f"_:b1 <{EX}p> <{EX}o> .")
+        assert (BNode("b1"), uri("p"), uri("o")) in graph
+
+    def test_parse_escaped_literal(self):
+        graph = parse_ntriples(f'<{EX}s> <{EX}p> "line\\nbreak \\"q\\"" .')
+        obj = graph.value(uri("s"), uri("p"))
+        assert obj.lexical == 'line\nbreak "q"'
+
+    def test_missing_dot_raises_with_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_ntriples(f"<{EX}s> <{EX}p> <{EX}o>")
+        assert excinfo.value.line_number == 1
+
+    def test_error_reports_correct_line(self):
+        text = f"<{EX}s> <{EX}p> <{EX}o> .\nbroken line\n"
+        with pytest.raises(ParseError) as excinfo:
+            parse_ntriples(text)
+        assert excinfo.value.line_number == 2
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ntriples(f'"lit" <{EX}p> <{EX}o> .')
+
+    def test_bnode_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ntriples(f"<{EX}s> _:b <{EX}o> .")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ntriples("complete nonsense")
+
+
+class TestRoundTrip:
+    def test_mixed_graph_roundtrip(self):
+        graph = Graph()
+        graph.add((uri("s"), uri("p"), uri("o")))
+        graph.add((uri("s"), uri("name"), Literal("Alice")))
+        graph.add((uri("s"), uri("age"), Literal(30)))
+        graph.add((uri("s"), uri("score"), Literal(0.75)))
+        graph.add((uri("s"), uri("active"), Literal(True)))
+        graph.add((BNode("b0"), uri("p"), Literal("x", language="en")))
+        assert parse_ntriples(serialize_ntriples(graph)) == graph
+
+    def test_roundtrip_is_fixpoint(self):
+        graph = Graph([(uri("s"), uri("p"), Literal('tricky "\\\n\t value'))])
+        once = serialize_ntriples(graph)
+        twice = serialize_ntriples(parse_ntriples(once))
+        assert once == twice
+
+
+_TERM_TEXT = st.text(
+    alphabet=st.characters(
+        codec="ascii", categories=("L", "N"), include_characters="_-"
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+# Blank-node labels are restricted to [A-Za-z0-9_]+ by construction.
+_BNODE_TEXT = st.text(
+    alphabet=st.characters(codec="ascii", categories=("L", "N"), include_characters="_"),
+    min_size=1,
+    max_size=10,
+)
+
+_LITERALS = st.one_of(
+    st.text(max_size=30).map(Literal),
+    st.integers(-10**6, 10**6).map(Literal),
+    st.floats(allow_nan=False, allow_infinity=False, width=32).map(Literal),
+    st.booleans().map(Literal),
+    st.tuples(st.text(max_size=10), st.sampled_from(["en", "de", "fr"])).map(
+        lambda pair: Literal(pair[0], language=pair[1])
+    ),
+)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.one_of(_TERM_TEXT.map(lambda t: uri(t)), _BNODE_TEXT.map(BNode)),
+            _TERM_TEXT.map(lambda t: uri(t)),
+            st.one_of(_TERM_TEXT.map(lambda t: uri(t)), _LITERALS),
+        ),
+        max_size=25,
+    )
+)
+def test_ntriples_roundtrip_property(triples):
+    """Property: serialize∘parse is the identity on graphs."""
+    graph = Graph(triples)
+    assert parse_ntriples(serialize_ntriples(graph)) == graph
+
+
+class TestTurtle:
+    def test_prefix_abbreviation(self):
+        graph = Graph([(uri("s"), uri("p"), uri("o"))])
+        text = serialize_turtle(graph, prefixes={"ex": EX})
+        assert "@prefix ex: <http://example.org/> ." in text
+        assert "ex:s" in text
+        assert "ex:p ex:o ." in text
+
+    def test_groups_by_subject(self):
+        graph = Graph()
+        graph.add((uri("s"), uri("p"), Literal(1)))
+        graph.add((uri("s"), uri("q"), Literal(2)))
+        text = serialize_turtle(graph, prefixes={"ex": EX})
+        assert text.count("ex:s") == 1
+
+    def test_no_prefixes(self):
+        graph = Graph([(uri("s"), uri("p"), uri("o"))])
+        text = serialize_turtle(graph)
+        assert f"<{EX}s>" in text

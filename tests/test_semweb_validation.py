@@ -1,0 +1,121 @@
+"""Unit tests for homepage shape validation."""
+
+from __future__ import annotations
+
+from repro.core.models import Agent
+from repro.semweb.foaf import publish_agent
+from repro.semweb.namespace import FOAF, RDF, REPRO, TRUST
+from repro.semweb.rdf import BNode, Graph, Literal, URIRef
+from repro.semweb.validation import validate_homepage
+
+ALICE = "http://example.org/alice"
+BOB = "http://example.org/bob"
+
+
+def clean_homepage() -> Graph:
+    return publish_agent(
+        Agent(uri=ALICE, name="Alice"), {BOB: 0.8}, {"isbn:1": 1.0}
+    )
+
+
+def codes(graph: Graph) -> list[str]:
+    return [issue.code for issue in validate_homepage(graph)]
+
+
+class TestCleanDocument:
+    def test_no_issues(self):
+        assert codes(clean_homepage()) == []
+
+
+class TestPrincipalIssues:
+    def test_no_person(self):
+        assert codes(Graph()) == ["no-person"]
+
+    def test_multiple_persons(self):
+        graph = clean_homepage()
+        graph.add((URIRef(BOB), RDF.type, FOAF.Person))
+        assert codes(graph) == ["multiple-persons"]
+
+    def test_missing_name(self):
+        graph = publish_agent(Agent(uri=ALICE), {}, {})
+        assert "missing-name" in codes(graph)
+
+
+class TestTrustIssues:
+    def test_missing_target(self):
+        graph = clean_homepage()
+        dangling = BNode("dangling")
+        graph.add((URIRef(ALICE), TRUST.trusts, dangling))
+        graph.add((dangling, TRUST.value, Literal(0.5)))
+        assert "trust-missing-target" in codes(graph)
+
+    def test_missing_value(self):
+        graph = clean_homepage()
+        dangling = BNode("dangling")
+        graph.add((URIRef(ALICE), TRUST.trusts, dangling))
+        graph.add((dangling, TRUST.target, URIRef(BOB)))
+        assert "trust-missing-value" in codes(graph)
+
+    def test_out_of_range(self):
+        graph = clean_homepage()
+        bad = BNode("bad")
+        graph.add((URIRef(ALICE), TRUST.trusts, bad))
+        graph.add((bad, TRUST.target, URIRef(BOB)))
+        graph.add((bad, TRUST.value, Literal(5.0)))
+        assert "trust-out-of-range" in codes(graph)
+
+    def test_non_numeric(self):
+        graph = clean_homepage()
+        bad = BNode("bad")
+        graph.add((URIRef(ALICE), TRUST.trusts, bad))
+        graph.add((bad, TRUST.target, URIRef(BOB)))
+        graph.add((bad, TRUST.value, Literal("very much")))
+        assert "trust-non-numeric" in codes(graph)
+
+    def test_self_trust(self):
+        graph = clean_homepage()
+        loop = BNode("loop")
+        graph.add((URIRef(ALICE), TRUST.trusts, loop))
+        graph.add((loop, TRUST.target, URIRef(ALICE)))
+        graph.add((loop, TRUST.value, Literal(1.0)))
+        assert "trust-self" in codes(graph)
+
+
+class TestRatingIssues:
+    def test_missing_product(self):
+        graph = clean_homepage()
+        dangling = BNode("norating")
+        graph.add((URIRef(ALICE), REPRO.rates, dangling))
+        graph.add((dangling, REPRO.value, Literal(1.0)))
+        assert "rating-missing-product" in codes(graph)
+
+    def test_missing_value(self):
+        graph = clean_homepage()
+        dangling = BNode("noval")
+        graph.add((URIRef(ALICE), REPRO.rates, dangling))
+        graph.add((dangling, REPRO.product, URIRef("isbn:2")))
+        assert "rating-missing-value" in codes(graph)
+
+    def test_out_of_range(self):
+        graph = clean_homepage()
+        bad = BNode("badr")
+        graph.add((URIRef(ALICE), REPRO.rates, bad))
+        graph.add((bad, REPRO.product, URIRef("isbn:2")))
+        graph.add((bad, REPRO.value, Literal(-2.0)))
+        assert "rating-out-of-range" in codes(graph)
+
+
+class TestForgeryDetection:
+    def test_foreign_subject_statements_flagged(self):
+        graph = clean_homepage()
+        forged = BNode("forged")
+        graph.add((URIRef(BOB), TRUST.trusts, forged))
+        graph.add((forged, TRUST.target, URIRef(ALICE)))
+        graph.add((forged, TRUST.value, Literal(1.0)))
+        found = codes(graph)
+        assert "foreign-subject-statements" in found
+
+    def test_issue_str(self):
+        graph = Graph()
+        issue = validate_homepage(graph)[0]
+        assert str(issue).startswith("no-person:")

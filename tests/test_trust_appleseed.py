@@ -1,0 +1,276 @@
+"""Unit and property tests for the Appleseed group trust metric."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trust.appleseed import Appleseed
+from repro.trust.graph import TrustGraph
+
+
+def chain_graph() -> TrustGraph:
+    return TrustGraph.from_edges(
+        [("a", "b", 1.0), ("b", "c", 1.0), ("c", "d", 1.0)]
+    )
+
+
+def diamond_graph() -> TrustGraph:
+    return TrustGraph.from_edges(
+        [
+            ("s", "l", 1.0),
+            ("s", "r", 0.5),
+            ("l", "t", 1.0),
+            ("r", "t", 1.0),
+        ]
+    )
+
+
+class TestParameters:
+    @pytest.mark.parametrize("d", [0.0, 1.0, -0.1, 1.5])
+    def test_invalid_spreading_factor(self, d):
+        with pytest.raises(ValueError):
+            Appleseed(spreading_factor=d)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            Appleseed(convergence_threshold=0.0)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            Appleseed(max_iterations=0)
+
+    def test_invalid_normalization(self):
+        with pytest.raises(ValueError):
+            Appleseed(normalization="bogus")
+
+    def test_invalid_distrust_mode(self):
+        with pytest.raises(ValueError):
+            Appleseed(distrust_mode="bogus")
+
+    def test_invalid_injection(self):
+        with pytest.raises(ValueError):
+            Appleseed().compute(chain_graph(), "a", injection=0.0)
+
+    def test_unknown_source(self):
+        with pytest.raises(KeyError):
+            Appleseed().compute(chain_graph(), "ghost")
+
+
+class TestBasicBehavior:
+    def test_converges_on_chain(self):
+        result = Appleseed().compute(chain_graph(), "a")
+        assert result.converged
+        assert result.iterations > 1
+
+    def test_all_reachable_nodes_ranked(self):
+        result = Appleseed().compute(chain_graph(), "a")
+        assert set(result.ranks) == {"b", "c", "d"}
+
+    def test_source_not_in_ranks(self):
+        result = Appleseed().compute(chain_graph(), "a")
+        assert "a" not in result.ranks
+
+    def test_closer_nodes_rank_higher_on_chain(self):
+        ranks = Appleseed().compute(chain_graph(), "a").ranks
+        assert ranks["b"] > ranks["c"] > ranks["d"] > 0
+
+    def test_ranks_nonnegative_and_bounded_by_injection(self):
+        result = Appleseed().compute(chain_graph(), "a", injection=200.0)
+        assert all(v >= 0 for v in result.ranks.values())
+        assert sum(result.ranks.values()) <= 200.0 + 1e-6
+
+    def test_isolated_source(self):
+        graph = TrustGraph()
+        graph.add_node("alone")
+        result = Appleseed().compute(graph, "alone")
+        assert result.ranks == {}
+        assert result.converged
+
+    def test_rank_scales_with_injection(self):
+        small = Appleseed(convergence_threshold=1e-6).compute(
+            chain_graph(), "a", injection=100.0
+        )
+        large = Appleseed(convergence_threshold=1e-6).compute(
+            chain_graph(), "a", injection=200.0
+        )
+        assert large.ranks["b"] == pytest.approx(2 * small.ranks["b"], rel=1e-3)
+
+    def test_higher_weight_edge_gets_more_rank(self):
+        ranks = Appleseed().compute(diamond_graph(), "s").ranks
+        assert ranks["l"] > ranks["r"]
+
+    def test_distrusted_edges_not_propagated(self):
+        graph = TrustGraph.from_edges(
+            [("a", "b", 1.0), ("a", "m", -1.0), ("m", "deep", 1.0)]
+        )
+        result = Appleseed().compute(graph, "a")
+        assert "m" not in result.neighborhood(0.0)
+        assert result.ranks.get("deep", 0.0) == 0.0 or "deep" not in result.ranks
+
+    def test_max_iterations_cap(self):
+        metric = Appleseed(max_iterations=3, convergence_threshold=1e-12)
+        result = metric.compute(chain_graph(), "a")
+        assert not result.converged
+        assert result.iterations == 3
+
+    def test_history_recorded(self):
+        result = Appleseed().compute(chain_graph(), "a")
+        assert len(result.history) == result.iterations
+        # Deltas eventually fall below the threshold.
+        assert result.history[-1] <= 0.01
+
+
+class TestResultHelpers:
+    def test_top_ordering(self):
+        result = Appleseed().compute(chain_graph(), "a")
+        top = result.top()
+        assert [name for name, _ in top] == ["b", "c", "d"]
+        assert top[0][1] >= top[-1][1]
+
+    def test_top_limit(self):
+        result = Appleseed().compute(chain_graph(), "a")
+        assert len(result.top(2)) == 2
+
+    def test_neighborhood_threshold(self):
+        result = Appleseed().compute(chain_graph(), "a")
+        everyone = result.neighborhood(0.0)
+        fewer = result.neighborhood(result.ranks["c"])
+        assert fewer < everyone
+
+
+class TestSpreadingFactor:
+    def test_low_d_concentrates_near_source(self):
+        graph = chain_graph()
+        low = Appleseed(spreading_factor=0.3).compute(graph, "a").ranks
+        high = Appleseed(spreading_factor=0.9).compute(graph, "a").ranks
+        # With low d, b hoards rank relative to d; high d spreads deeper.
+        assert low["b"] / low["d"] > high["b"] / high["d"]
+
+    def test_nonlinear_normalization_favors_strong_edges(self):
+        graph = TrustGraph.from_edges([("s", "strong", 0.9), ("s", "weak", 0.3)])
+        linear = Appleseed(normalization="linear").compute(graph, "s").ranks
+        nonlinear = Appleseed(normalization="nonlinear").compute(graph, "s").ranks
+        assert (
+            nonlinear["strong"] / nonlinear["weak"]
+            > linear["strong"] / linear["weak"]
+        )
+
+
+class TestHorizon:
+    def test_max_depth_bounds_exploration(self):
+        result = Appleseed(max_depth=2).compute(chain_graph(), "a")
+        assert "d" not in result.ranks
+        assert {"b", "c"} <= set(result.ranks)
+
+    def test_invalid_max_depth(self):
+        with pytest.raises(ValueError):
+            Appleseed(max_depth=0)
+
+
+class TestBackwardPropagation:
+    def test_backward_edges_concentrate_rank_near_source(self):
+        graph = chain_graph()
+        with_back = Appleseed().compute(graph, "a").ranks
+        without_back = Appleseed(backward_propagation=False).compute(graph, "a").ranks
+
+        def weighted_distance(ranks: dict[str, float]) -> float:
+            distance = {"b": 1, "c": 2, "d": 3}
+            total = sum(ranks.values())
+            return sum(r * distance[n] for n, r in ranks.items()) / total
+
+        assert weighted_distance(with_back) < weighted_distance(without_back)
+
+    def test_without_backward_edges_dead_ends_leak_energy(self):
+        # Star of dead ends: every spoke swallows its forwarded share.
+        graph = TrustGraph.from_edges([("s", f"x{i}", 1.0) for i in range(4)])
+        with_back = Appleseed(convergence_threshold=1e-6).compute(graph, "s", 100.0)
+        without_back = Appleseed(
+            convergence_threshold=1e-6, backward_propagation=False
+        ).compute(graph, "s", 100.0)
+        # With backward edges the spokes keep receiving recirculated
+        # energy; without them each spoke keeps only (1-d) of its single
+        # delivery and the rest vanishes.
+        assert sum(without_back.ranks.values()) < sum(with_back.ranks.values())
+        assert sum(without_back.ranks.values()) == pytest.approx(
+            100.0 * 0.85 * 0.15, rel=1e-3
+        )
+
+    def test_flag_recorded(self):
+        assert Appleseed().backward_propagation is True
+        assert Appleseed(backward_propagation=False).backward_propagation is False
+
+
+class TestDistrust:
+    def test_one_step_distrust_reduces_rank(self):
+        graph = TrustGraph.from_edges(
+            [
+                ("s", "a", 1.0),
+                ("s", "b", 1.0),
+                ("a", "m", 1.0),
+                ("b", "m", -1.0),  # b distrusts m
+            ]
+        )
+        plain = Appleseed().compute(graph, "s").ranks
+        discounted = Appleseed(distrust_mode="one_step").compute(graph, "s").ranks
+        assert discounted["m"] < plain["m"]
+        assert discounted["m"] >= 0.0
+
+    def test_distrust_never_negative(self):
+        graph = TrustGraph.from_edges(
+            [("s", "a", 1.0), ("s", "m", 0.1), ("a", "m", -1.0)]
+        )
+        ranks = Appleseed(distrust_mode="one_step").compute(graph, "s").ranks
+        assert ranks["m"] == 0.0
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    edges=st.lists(
+        st.tuples(
+            st.integers(0, 7),
+            st.integers(0, 7),
+            st.floats(min_value=0.05, max_value=1.0),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_energy_conservation(edges):
+    """Property: total rank never exceeds injected energy, all ranks >= 0,
+    and the computation always terminates within the iteration cap."""
+    graph = TrustGraph()
+    graph.add_node("n0")
+    for source, target, weight in edges:
+        if source != target:
+            graph.add_edge(f"n{source}", f"n{target}", weight)
+    result = Appleseed(max_iterations=500).compute(graph, "n0", injection=100.0)
+    assert sum(result.ranks.values()) <= 100.0 + 1e-6
+    assert all(v >= 0.0 for v in result.ranks.values())
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    edges=st.lists(
+        st.tuples(
+            st.integers(0, 5),
+            st.integers(0, 5),
+            st.floats(min_value=0.05, max_value=1.0),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_only_reachable_nodes_ranked(edges):
+    """Property: every positively ranked node is BFS-reachable from source."""
+    graph = TrustGraph()
+    graph.add_node("n0")
+    for source, target, weight in edges:
+        if source != target:
+            graph.add_edge(f"n{source}", f"n{target}", weight)
+    result = Appleseed().compute(graph, "n0")
+    reachable = graph.reachable_from("n0")
+    for node, rank in result.ranks.items():
+        if rank > 0:
+            assert node in reachable

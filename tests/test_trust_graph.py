@@ -1,0 +1,138 @@
+"""Unit tests for the trust graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trust.graph import TrustGraph
+
+
+def simple_graph() -> TrustGraph:
+    return TrustGraph.from_edges(
+        [
+            ("a", "b", 0.9),
+            ("a", "c", 0.5),
+            ("b", "c", 0.8),
+            ("c", "d", 0.7),
+            ("d", "e", 0.6),
+            ("a", "x", -0.5),  # distrust
+        ]
+    )
+
+
+class TestConstruction:
+    def test_add_edge_creates_nodes(self):
+        graph = TrustGraph()
+        graph.add_edge("a", "b", 0.5)
+        assert "a" in graph
+        assert "b" in graph
+        assert len(graph) == 2
+
+    def test_self_trust_rejected(self):
+        with pytest.raises(ValueError):
+            TrustGraph().add_edge("a", "a", 1.0)
+
+    def test_out_of_range_weight_rejected(self):
+        with pytest.raises(ValueError):
+            TrustGraph().add_edge("a", "b", 1.5)
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(ValueError):
+            TrustGraph().add_node("")
+
+    def test_overwrite_edge(self):
+        graph = TrustGraph()
+        graph.add_edge("a", "b", 0.5)
+        graph.add_edge("a", "b", 0.9)
+        assert graph.weight("a", "b") == 0.9
+        assert graph.edge_count() == 1
+
+    def test_remove_edge(self):
+        graph = TrustGraph()
+        graph.add_edge("a", "b", 0.5)
+        graph.remove_edge("a", "b")
+        assert graph.weight("a", "b") is None
+        with pytest.raises(KeyError):
+            graph.remove_edge("a", "b")
+
+    def test_from_dataset(self, tiny_dataset):
+        graph = TrustGraph.from_dataset(tiny_dataset)
+        assert len(graph) == 5  # every agent, even trust-isolated eve
+        assert graph.edge_count() == 5
+        alice = "http://example.org/alice"
+        bob = "http://example.org/bob"
+        assert graph.weight(alice, bob) == 0.8
+
+
+class TestAccessors:
+    def test_weight_missing_is_none(self):
+        assert simple_graph().weight("e", "a") is None
+
+    def test_successors(self):
+        graph = simple_graph()
+        assert graph.successors("a") == {"b": 0.9, "c": 0.5, "x": -0.5}
+        assert graph.successors("unknown") == {}
+
+    def test_positive_successors_exclude_distrust(self):
+        graph = simple_graph()
+        assert graph.positive_successors("a") == {"b": 0.9, "c": 0.5}
+
+    def test_predecessors(self):
+        graph = simple_graph()
+        assert graph.predecessors("c") == {"a": 0.5, "b": 0.8}
+
+    def test_degrees(self):
+        graph = simple_graph()
+        assert graph.out_degree("a") == 3
+        assert graph.in_degree("c") == 2
+        assert graph.out_degree("e") == 0
+
+
+class TestTraversal:
+    def test_bfs_levels(self):
+        levels = simple_graph().bfs_levels("a")
+        assert levels == {"a": 0, "b": 1, "c": 1, "d": 2, "e": 3}
+
+    def test_bfs_does_not_follow_distrust(self):
+        levels = simple_graph().bfs_levels("a")
+        assert "x" not in levels
+
+    def test_bfs_unknown_source(self):
+        with pytest.raises(KeyError):
+            simple_graph().bfs_levels("ghost")
+
+    def test_reachable_from(self):
+        assert simple_graph().reachable_from("c") == {"c", "d", "e"}
+
+    def test_within_horizon_limits_depth(self):
+        horizon = simple_graph().within_horizon("a", max_depth=1)
+        assert set(horizon.nodes()) == {"a", "b", "c"}
+        # internal edges between discovered nodes are retained
+        assert horizon.weight("b", "c") == 0.8
+        assert horizon.weight("c", "d") is None
+
+    def test_within_horizon_keeps_internal_distrust(self):
+        graph = TrustGraph.from_edges(
+            [("a", "b", 0.9), ("a", "c", 0.9), ("b", "c", -0.5)]
+        )
+        horizon = graph.within_horizon("a", max_depth=1)
+        assert horizon.weight("b", "c") == -0.5
+
+    def test_within_horizon_zero_depth(self):
+        horizon = simple_graph().within_horizon("a", max_depth=0)
+        assert set(horizon.nodes()) == {"a"}
+
+    def test_within_horizon_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            simple_graph().within_horizon("a", max_depth=-1)
+
+    def test_within_horizon_unknown_source(self):
+        with pytest.raises(KeyError):
+            simple_graph().within_horizon("ghost", max_depth=2)
+
+
+class TestRepr:
+    def test_repr(self):
+        text = repr(simple_graph())
+        assert "nodes=6" in text
+        assert "edges=6" in text

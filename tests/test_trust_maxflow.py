@@ -1,0 +1,119 @@
+"""Unit and property tests for the Dinic max-flow implementation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trust.maxflow import FlowNetwork
+
+
+class TestBasics:
+    def test_single_edge(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 5)
+        assert net.max_flow("s", "t") == 5
+
+    def test_series_bottleneck(self):
+        net = FlowNetwork()
+        net.add_edge("s", "m", 10)
+        net.add_edge("m", "t", 3)
+        assert net.max_flow("s", "t") == 3
+
+    def test_parallel_paths_add(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 3)
+        net.add_edge("a", "t", 3)
+        net.add_edge("s", "b", 4)
+        net.add_edge("b", "t", 4)
+        assert net.max_flow("s", "t") == 7
+
+    def test_disconnected(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 3)
+        net.add_node("t")
+        assert net.max_flow("s", "t") == 0
+
+    def test_classic_textbook_network(self):
+        # CLRS figure: max flow 23.
+        net = FlowNetwork()
+        net.add_edge("s", "v1", 16)
+        net.add_edge("s", "v2", 13)
+        net.add_edge("v1", "v3", 12)
+        net.add_edge("v2", "v1", 4)
+        net.add_edge("v2", "v4", 14)
+        net.add_edge("v3", "v2", 9)
+        net.add_edge("v3", "t", 20)
+        net.add_edge("v4", "v3", 7)
+        net.add_edge("v4", "t", 4)
+        assert net.max_flow("s", "t") == 23
+
+    def test_requires_augmenting_path_undo(self):
+        # Forces flow along s->a->b->t then rerouting via residual edges.
+        net = FlowNetwork()
+        net.add_edge("s", "a", 1)
+        net.add_edge("s", "b", 1)
+        net.add_edge("a", "b", 1)
+        net.add_edge("a", "t", 1)
+        net.add_edge("b", "t", 1)
+        assert net.max_flow("s", "t") == 2
+
+    def test_flow_on_reports_edge_flow(self):
+        net = FlowNetwork()
+        first = net.add_edge("s", "m", 10)
+        second = net.add_edge("m", "t", 3)
+        net.max_flow("s", "t")
+        assert net.flow_on(first) == 3
+        assert net.flow_on(second) == 3
+
+    def test_zero_capacity_edge(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 0)
+        assert net.max_flow("s", "t") == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork().add_edge("s", "t", -1)
+
+    def test_same_source_sink_rejected(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 1)
+        with pytest.raises(ValueError):
+            net.max_flow("s", "s")
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            FlowNetwork().max_flow("s", "t")
+
+    def test_tuple_node_identifiers(self):
+        net = FlowNetwork()
+        net.add_edge(("in", "a"), ("out", "a"), 2)
+        assert net.max_flow(("in", "a"), ("out", "a")) == 2
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 20)),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_property_flow_conservation_and_cut_bound(edges):
+    """Property: max flow <= capacity out of source and into sink, and the
+    flow on every original edge is within its capacity."""
+    net = FlowNetwork()
+    net.add_node(0)
+    net.add_node(5)
+    arc_records = []
+    for source, target, capacity in edges:
+        if source != target:
+            arc = net.add_edge(source, target, capacity)
+            arc_records.append((arc, capacity))
+    flow = net.max_flow(0, 5)
+    out_capacity = sum(c for s, t, c in edges if s == 0 and t != 0)
+    in_capacity = sum(c for s, t, c in edges if t == 5 and s != 5)
+    assert 0 <= flow <= min(out_capacity, in_capacity)
+    for arc, capacity in arc_records:
+        assert 0 <= net.flow_on(arc) <= capacity

@@ -1,0 +1,117 @@
+"""Unit tests for personalized PageRank."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trust.appleseed import Appleseed
+from repro.trust.graph import TrustGraph
+from repro.trust.pagerank import PersonalizedPageRank
+
+
+def chain_graph() -> TrustGraph:
+    return TrustGraph.from_edges(
+        [("a", "b", 1.0), ("b", "c", 1.0), ("c", "d", 1.0)]
+    )
+
+
+class TestParameters:
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_alpha(self, alpha):
+        with pytest.raises(ValueError):
+            PersonalizedPageRank(alpha=alpha)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            PersonalizedPageRank(tolerance=0.0)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            PersonalizedPageRank(max_iterations=0)
+
+    def test_unknown_source(self):
+        with pytest.raises(KeyError):
+            PersonalizedPageRank().compute(chain_graph(), "ghost")
+
+
+class TestBasics:
+    def test_converges(self):
+        result = PersonalizedPageRank().compute(chain_graph(), "a")
+        assert result.converged
+
+    def test_all_reachable_ranked(self):
+        result = PersonalizedPageRank().compute(chain_graph(), "a")
+        assert set(result.ranks) == {"b", "c", "d"}
+
+    def test_source_excluded(self):
+        result = PersonalizedPageRank().compute(chain_graph(), "a")
+        assert "a" not in result.ranks
+
+    def test_proximity_ordering_on_chain(self):
+        ranks = PersonalizedPageRank().compute(chain_graph(), "a").ranks
+        assert ranks["b"] > ranks["c"] > ranks["d"] > 0
+
+    def test_unreachable_nodes_absent(self):
+        graph = chain_graph()
+        graph.add_edge("x", "y", 1.0)
+        result = PersonalizedPageRank().compute(graph, "a")
+        assert "x" not in result.ranks
+        assert "y" not in result.ranks
+
+    def test_isolated_source(self):
+        graph = TrustGraph()
+        graph.add_node("alone")
+        result = PersonalizedPageRank().compute(graph, "alone")
+        assert result.ranks == {}
+        assert result.converged
+
+    def test_distrust_not_walked(self):
+        graph = TrustGraph.from_edges([("a", "b", 1.0), ("a", "m", -0.9)])
+        result = PersonalizedPageRank().compute(graph, "a")
+        assert "m" not in result.ranks
+
+    def test_stronger_edge_more_rank(self):
+        graph = TrustGraph.from_edges([("s", "big", 0.9), ("s", "small", 0.1)])
+        ranks = PersonalizedPageRank().compute(graph, "s").ranks
+        assert ranks["big"] > ranks["small"]
+
+    def test_top_helper(self):
+        result = PersonalizedPageRank().compute(chain_graph(), "a")
+        top = result.top(2)
+        assert [name for name, _ in top] == ["b", "c"]
+
+    def test_agrees_with_appleseed_ordering_on_chain(self):
+        """Both metrics order a chain by proximity — the family trait."""
+        graph = chain_graph()
+        ppr = PersonalizedPageRank().compute(graph, "a").top()
+        apple = Appleseed().compute(graph, "a").top()
+        assert [n for n, _ in ppr] == [n for n, _ in apple]
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    edges=st.lists(
+        st.tuples(
+            st.integers(0, 6),
+            st.integers(0, 6),
+            st.floats(min_value=0.05, max_value=1.0),
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_property_rank_mass_bounded(edges):
+    """Property: excluded-source rank mass lies in [0, 1], all ranks
+    positive, and the computation converges."""
+    graph = TrustGraph()
+    graph.add_node("n0")
+    for source, target, weight in edges:
+        if source != target:
+            graph.add_edge(f"n{source}", f"n{target}", weight)
+    result = PersonalizedPageRank().compute(graph, "n0")
+    assert result.converged
+    total = sum(result.ranks.values())
+    assert 0.0 <= total <= 1.0 + 1e-9
+    assert all(v > 0 for v in result.ranks.values())

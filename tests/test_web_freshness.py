@@ -1,0 +1,100 @@
+"""Unit tests for the recrawl freshness policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.web.freshness import FreshnessPolicy, plan_refresh
+from repro.web.network import SimulatedWeb
+from repro.web.storage import DocumentStore
+
+
+def _world() -> tuple[DocumentStore, SimulatedWeb]:
+    web = SimulatedWeb()
+    store = DocumentStore()
+    # Three agent docs fetched at different times; one taxonomy doc.
+    for i, (uri, fetched_at) in enumerate(
+        [("u:a", 3), ("u:b", 1), ("u:c", 2)], start=1
+    ):
+        web.publish(uri, f"body {i}")
+        store.put(uri, f"body {i}", version=1, fetched_at=fetched_at)
+    web.publish("u:tax", "tax")
+    store.put("u:tax", "tax", version=1, fetched_at=0, kind="taxonomy")
+    return store, web
+
+
+class TestOldestFirst:
+    def test_orders_by_age(self):
+        store, web = _world()
+        order = FreshnessPolicy("oldest_first").order(store, web)
+        assert order == ["u:b", "u:c", "u:a"]
+
+    def test_kind_filter(self):
+        store, web = _world()
+        order = FreshnessPolicy("oldest_first").order(store, web, kind=None)
+        assert order[0] == "u:tax"  # fetched_at 0, oldest overall
+
+    def test_empty_store(self):
+        assert FreshnessPolicy().order(DocumentStore(), SimulatedWeb()) == []
+
+
+class TestRoundRobin:
+    def test_rotation_by_pass_number(self):
+        store, web = _world()
+        policy = FreshnessPolicy("round_robin")
+        first = policy.order(store, web, pass_number=0)
+        second = policy.order(store, web, pass_number=1)
+        assert sorted(first) == sorted(second)
+        assert second == first[1:] + first[:1]
+
+    def test_full_cycle_covers_everything(self):
+        store, web = _world()
+        policy = FreshnessPolicy("round_robin")
+        covered = set()
+        for pass_number in range(3):
+            covered.update(
+                plan_refresh(store, web, budget=1, policy=policy,
+                             pass_number=pass_number)
+            )
+        assert covered == {"u:a", "u:b", "u:c"}
+
+
+class TestStaleFirst:
+    def test_fresh_replica_nothing_to_do(self):
+        store, web = _world()
+        assert FreshnessPolicy("stale_first").order(store, web) == []
+
+    def test_only_stale_documents_selected(self):
+        store, web = _world()
+        web.publish("u:b", "new body")  # bump live version
+        order = FreshnessPolicy("stale_first").order(store, web)
+        assert order == ["u:b"]
+
+    def test_biggest_lag_first(self):
+        store, web = _world()
+        web.publish("u:b", "v2")
+        web.publish("u:c", "v2")
+        web.publish("u:c", "v3")  # c lags by 2 versions, b by 1
+        order = FreshnessPolicy("stale_first").order(store, web)
+        assert order == ["u:c", "u:b"]
+
+
+class TestPlanRefresh:
+    def test_budget_respected(self):
+        store, web = _world()
+        plan = plan_refresh(store, web, budget=2)
+        assert len(plan) == 2
+        assert plan == ["u:b", "u:c"]
+
+    def test_zero_budget(self):
+        store, web = _world()
+        assert plan_refresh(store, web, budget=0) == []
+
+    def test_negative_budget_rejected(self):
+        store, web = _world()
+        with pytest.raises(ValueError):
+            plan_refresh(store, web, budget=-1)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            FreshnessPolicy("bogus")

@@ -1,0 +1,96 @@
+"""Unit tests for the simulated Web."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.web.network import SimulatedWeb, WebError
+
+
+class TestHosting:
+    def test_publish_and_fetch(self):
+        web = SimulatedWeb()
+        web.publish("u:1", "body")
+        result = web.fetch("u:1")
+        assert result.body == "body"
+        assert result.version == 1
+
+    def test_fetch_missing_raises(self):
+        with pytest.raises(WebError):
+            SimulatedWeb().fetch("u:missing")
+
+    def test_republish_bumps_version(self):
+        web = SimulatedWeb()
+        web.publish("u:1", "v1")
+        web.publish("u:1", "v2")
+        result = web.fetch("u:1")
+        assert result.body == "v2"
+        assert result.version == 2
+
+    def test_empty_uri_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedWeb().publish("", "x")
+
+    def test_exists_and_len(self):
+        web = SimulatedWeb()
+        assert not web.exists("u:1")
+        web.publish("u:1", "x")
+        assert web.exists("u:1")
+        assert "u:1" in web
+        assert len(web) == 1
+
+    def test_version_probe(self):
+        web = SimulatedWeb()
+        assert web.version("u:1") == 0
+        web.publish("u:1", "x")
+        assert web.version("u:1") == 1
+
+    def test_fetch_counts_traffic(self):
+        web = SimulatedWeb()
+        web.publish("u:1", "x")
+        web.fetch("u:1")
+        web.fetch("u:1")
+        assert web.fetch_count == 2
+
+    def test_version_probe_is_free(self):
+        web = SimulatedWeb()
+        web.publish("u:1", "x")
+        web.version("u:1")
+        assert web.fetch_count == 0
+
+
+class TestAsynchronousUpdates:
+    def test_staged_update_invisible(self):
+        web = SimulatedWeb()
+        web.publish("u:1", "old")
+        web.stage_update("u:1", "new")
+        assert web.fetch("u:1").body == "old"
+        assert web.pending_updates() == 1
+
+    def test_deliver_applies(self):
+        web = SimulatedWeb()
+        web.publish("u:1", "old")
+        web.stage_update("u:1", "new")
+        assert web.deliver() == 1
+        assert web.fetch("u:1").body == "new"
+        assert web.fetch("u:1").version == 2
+        assert web.pending_updates() == 0
+
+    def test_staging_keeps_only_newest(self):
+        web = SimulatedWeb()
+        web.publish("u:1", "old")
+        web.stage_update("u:1", "mid")
+        web.stage_update("u:1", "new")
+        web.deliver()
+        assert web.fetch("u:1").body == "new"
+        assert web.fetch("u:1").version == 2  # one delivery, one bump
+
+    def test_stage_for_unhosted_uri_creates_on_delivery(self):
+        web = SimulatedWeb()
+        web.stage_update("u:new", "hello")
+        assert not web.exists("u:new")
+        web.deliver()
+        assert web.fetch("u:new").body == "hello"
+
+    def test_deliver_empty(self):
+        assert SimulatedWeb().deliver() == 0

@@ -1,0 +1,120 @@
+"""Integration tests for split-channel publishing and replication (§4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.recommender import SemanticWebRecommender
+from repro.semweb.foaf import parse_agent_homepage
+from repro.semweb.serializer import parse_ntriples
+from repro.web.network import SimulatedWeb
+from repro.web.replicator import CommunityReplicator, publish_split_community
+from repro.web.weblog import weblog_uri
+
+
+@pytest.fixture
+def split_world(small_community):
+    web = SimulatedWeb()
+    taxonomy_uri, catalog_uri = publish_split_community(
+        web, small_community.dataset, small_community.taxonomy
+    )
+    return web, taxonomy_uri, catalog_uri, small_community
+
+
+class TestPublishSplitCommunity:
+    def test_homepages_carry_no_ratings(self, split_world):
+        web, _, _, community = split_world
+        agent_uri = sorted(community.dataset.agents)[0]
+        graph = parse_ntriples(web.fetch(agent_uri).body)
+        _, trust, ratings = parse_agent_homepage(graph)
+        assert ratings == []
+        assert len(trust) == len(community.dataset.trust_of(agent_uri))
+
+    def test_weblogs_hosted_per_agent(self, split_world):
+        web, _, _, community = split_world
+        for agent_uri in sorted(community.dataset.agents)[:10]:
+            assert web.exists(weblog_uri(agent_uri))
+
+    def test_document_count(self, split_world):
+        web, _, _, community = split_world
+        # One homepage + one weblog per agent, plus two global documents.
+        assert len(web) == 2 * len(community.dataset.agents) + 2
+
+
+class TestCommunityReplicator:
+    def test_full_replication_recovers_everything(self, split_world):
+        web, taxonomy_uri, catalog_uri, community = split_world
+        seed = sorted(community.dataset.agents)[0]
+        replicator = CommunityReplicator(web=web)
+        dataset, taxonomy, report = replicator.replicate(
+            [seed], taxonomy_uri=taxonomy_uri, catalog_uri=catalog_uri
+        )
+        assert report.parse_failures == ()
+        assert report.unmapped_links == 0
+        assert report.weblogs_missing == ()
+        assert report.weblog_fetches == len(dataset.agents)
+        # Trust and ratings agree with the source for replicated agents.
+        for agent in sorted(dataset.agents)[:15]:
+            assert dataset.trust_of(agent) == community.dataset.trust_of(agent)
+            assert dataset.ratings_of(agent) == community.dataset.ratings_of(agent)
+        assert len(taxonomy) == len(community.taxonomy)
+
+    def test_recommendations_from_replica(self, split_world):
+        web, taxonomy_uri, catalog_uri, community = split_world
+        seed = sorted(community.dataset.agents)[0]
+        replicator = CommunityReplicator(web=web)
+        dataset, taxonomy, _ = replicator.replicate(
+            [seed], taxonomy_uri=taxonomy_uri, catalog_uri=catalog_uri
+        )
+        recommender = SemanticWebRecommender.from_dataset(dataset, taxonomy)
+        recs = recommender.recommend(seed, limit=10)
+        assert recs
+        # The split-channel replica reproduces the direct-data pipeline.
+        reference = SemanticWebRecommender.from_dataset(
+            community.dataset.restricted_to_agents(dataset.agents),
+            community.taxonomy,
+        )
+        assert [r.product for r in recs] == [
+            r.product for r in reference.recommend(seed, limit=10)
+        ]
+
+    def test_budget_limits_homepages_not_weblogs(self, split_world):
+        web, taxonomy_uri, catalog_uri, community = split_world
+        seed = sorted(community.dataset.agents)[0]
+        replicator = CommunityReplicator(web=web)
+        dataset, _, report = replicator.replicate(
+            [seed], budget=5, taxonomy_uri=taxonomy_uri, catalog_uri=catalog_uri
+        )
+        assert report.homepage_fetches == 5
+        assert report.budget_exhausted
+        assert report.weblog_fetches == len(dataset.agents)
+        assert report.mined_ratings > 0
+
+    def test_missing_weblogs_reported(self, small_community):
+        from repro.web.crawler import publish_community
+
+        # Publish the *merged*-channel community: no weblogs exist.
+        web = SimulatedWeb()
+        taxonomy_uri, catalog_uri = publish_community(
+            web, small_community.dataset, small_community.taxonomy
+        )
+        seed = sorted(small_community.dataset.agents)[0]
+        replicator = CommunityReplicator(web=web)
+        dataset, _, report = replicator.replicate(
+            [seed], taxonomy_uri=taxonomy_uri, catalog_uri=catalog_uri
+        )
+        assert report.weblog_fetches == 0
+        assert len(report.weblogs_missing) == len(dataset.agents)
+        assert report.mined_ratings == 0
+        # Homepages in this world DO carry ratings, so assembly kept them.
+        assert len(dataset.ratings) > 0
+
+    def test_weblog_documents_persisted(self, split_world):
+        web, taxonomy_uri, catalog_uri, community = split_world
+        seed = sorted(community.dataset.agents)[0]
+        replicator = CommunityReplicator(web=web)
+        dataset, _, _ = replicator.replicate(
+            [seed], taxonomy_uri=taxonomy_uri, catalog_uri=catalog_uri
+        )
+        weblog_docs = list(replicator.store.uris(kind="weblog"))
+        assert len(weblog_docs) == len(dataset.agents)

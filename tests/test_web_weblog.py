@@ -1,0 +1,167 @@
+"""Unit tests for weblog mining (§4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Agent, Dataset, Product, Rating
+from repro.web.network import SimulatedWeb
+from repro.web.weblog import (
+    LinkMiner,
+    WeblogPost,
+    product_page_url,
+    publish_weblogs,
+    render_weblog,
+    weblog_uri,
+)
+
+
+class TestRendering:
+    def test_links_embedded(self):
+        post = WeblogPost(
+            title="Books",
+            links=("https://www.amazon.com/dp/9780000000001",),
+        )
+        html = render_weblog("Alice", [post])
+        assert '<a href="https://www.amazon.com/dp/9780000000001">' in html
+        assert "<h2>Books</h2>" in html
+
+    def test_explicit_annotations_embedded(self):
+        post = WeblogPost(title="Rated", explicit={"isbn:123": -0.5})
+        html = render_weblog("Alice", [post])
+        assert 'data-isbn="isbn:123"' in html
+        assert 'data-value="-0.5"' in html
+
+    def test_product_page_url_roundtrips(self):
+        miner = LinkMiner()
+        url = product_page_url("isbn:9780000000042")
+        assert miner.map_to_identifier(url) == "isbn:9780000000042"
+
+
+class TestLinkMiner:
+    def test_extract_links(self):
+        html = '<p><a href="http://x.org/a">a</a> and <a href="http://y.org/b">b</a></p>'
+        assert LinkMiner().extract_links(html) == ["http://x.org/a", "http://y.org/b"]
+
+    @pytest.mark.parametrize(
+        "url",
+        [
+            "https://www.amazon.com/dp/9780000000001",
+            "http://www.amazon.com/exec/obidos/ASIN/9780000000001",
+            "https://shop.example.org/book/9780000000001",
+        ],
+    )
+    def test_recognized_shop_urls(self, url):
+        assert LinkMiner().map_to_identifier(url) == "isbn:9780000000001"
+
+    @pytest.mark.parametrize(
+        "url",
+        [
+            "https://www.amazon.com/gp/help",
+            "http://blog.example.org/post/1",
+            "https://www.amazon.com/dp/notanisbn",
+        ],
+    )
+    def test_unrecognized_urls(self, url):
+        assert LinkMiner().map_to_identifier(url) is None
+
+    def test_mine_implicit_votes(self):
+        html = render_weblog(
+            "A",
+            [WeblogPost(title="t", links=(product_page_url("isbn:9780000000007"),))],
+        )
+        ratings = LinkMiner().mine("agent:a", html)
+        assert ratings == [Rating(agent="agent:a", product="isbn:9780000000007", value=1.0)]
+
+    def test_duplicate_links_collapse(self):
+        url = product_page_url("isbn:9780000000007")
+        html = render_weblog("A", [WeblogPost(title="t", links=(url, url, url))])
+        assert len(LinkMiner().mine("agent:a", html)) == 1
+
+    def test_explicit_overrides_implicit(self):
+        identifier = "isbn:9780000000007"
+        html = render_weblog(
+            "A",
+            [
+                WeblogPost(
+                    title="t",
+                    links=(product_page_url(identifier),),
+                    explicit={identifier: 0.25},
+                )
+            ],
+        )
+        ratings = LinkMiner().mine("agent:a", html)
+        assert ratings[0].value == 0.25
+
+    def test_out_of_range_explicit_skipped(self):
+        html = '<span class="blam-rating" data-isbn="isbn:1" data-value="3.5"></span>'
+        assert LinkMiner().mine("agent:a", html) == []
+
+    def test_unknown_products_recorded_unmapped(self):
+        miner = LinkMiner(known_products=frozenset({"isbn:known"}))
+        html = render_weblog(
+            "A",
+            [WeblogPost(title="t", links=(product_page_url("isbn:9780000000099"),))],
+        )
+        assert miner.mine("agent:a", html) == []
+        assert miner.unmapped == ["isbn:9780000000099"]
+
+    def test_mine_empty_document(self):
+        assert LinkMiner().mine("agent:a", "") == []
+
+
+class TestPublishWeblogs:
+    def _dataset(self) -> Dataset:
+        dataset = Dataset()
+        dataset.add_agent(Agent(uri="http://example.org/alice", name="Alice"))
+        for i in range(4):
+            identifier = f"isbn:978000000000{i}"
+            dataset.add_product(Product(identifier=identifier, title=f"B{i}"))
+            dataset.add_rating(
+                Rating(agent="http://example.org/alice", product=identifier)
+            )
+        # One explicit (non-unit) rating.
+        dataset.add_product(Product(identifier="isbn:9780000000009"))
+        dataset.add_rating(
+            Rating(
+                agent="http://example.org/alice",
+                product="isbn:9780000000009",
+                value=0.5,
+            )
+        )
+        return dataset
+
+    def test_roundtrip_through_web(self):
+        dataset = self._dataset()
+        web = SimulatedWeb()
+        uris = publish_weblogs(web, dataset)
+        assert uris == [weblog_uri("http://example.org/alice")]
+        miner = LinkMiner(known_products=frozenset(dataset.products))
+        document = web.fetch(uris[0]).body
+        mined = miner.mine("http://example.org/alice", document)
+        assert {(r.product, r.value) for r in mined} == {
+            (p, v)
+            for p, v in dataset.ratings_of("http://example.org/alice").items()
+        }
+
+    def test_agent_without_ratings_gets_placeholder(self):
+        dataset = Dataset()
+        dataset.add_agent(Agent(uri="http://example.org/bob"))
+        web = SimulatedWeb()
+        uris = publish_weblogs(web, dataset)
+        body = web.fetch(uris[0]).body
+        assert "Hello world" in body
+        assert LinkMiner().mine("http://example.org/bob", body) == []
+
+    def test_community_roundtrip(self, small_community):
+        dataset = small_community.dataset
+        web = SimulatedWeb()
+        publish_weblogs(web, dataset)
+        miner = LinkMiner(known_products=frozenset(dataset.products))
+        for agent_uri in sorted(dataset.agents)[:20]:
+            document = web.fetch(weblog_uri(agent_uri)).body
+            mined = miner.mine(agent_uri, document)
+            assert {(r.product, r.value) for r in mined} == {
+                (p, v) for p, v in dataset.ratings_of(agent_uri).items()
+            }
+        assert miner.unmapped == []
