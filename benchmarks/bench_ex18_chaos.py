@@ -1,0 +1,25 @@
+"""EX18 — fault rate vs replica coverage and rec agreement (§2, §4.1).
+
+Regenerates the chaos table and asserts the claimed shape: the
+fault-free run agrees perfectly with itself, coverage stays within
+bounds as the fault rate climbs, and the resilience machinery (retries)
+is actually exercised under chaos.
+"""
+
+from __future__ import annotations
+
+from _util import report
+
+from repro.evaluation.experiments_chaos import run_ex18_chaos
+
+
+def test_ex18_chaos(benchmark, community):
+    table = benchmark.pedantic(
+        lambda: run_ex18_chaos(community), rounds=1, iterations=1
+    )
+    report(table)
+    assert float(table.rows[0][-1]) == 1.0  # fault-free run: perfect overlap
+    coverages = [float(row[-2]) for row in table.rows]
+    assert all(0.0 <= value <= coverages[0] for value in coverages)
+    retries = [int(row[2]) for row in table.rows]
+    assert retries[0] == 0 and any(value > 0 for value in retries[1:])

@@ -35,6 +35,7 @@ from .core.synthesis import LinearBlend, SynthesisStrategy
 from .core.taxonomy import Taxonomy
 from .trust.graph import TrustGraph
 from .web.crawler import DEFAULT_CATALOG_URI, DEFAULT_TAXONOMY_URI, Crawler
+from .web.faults import RetryPolicy
 from .web.network import SimulatedWeb, WebError
 from .web.storage import DocumentStore
 from .web.weblog import LinkMiner, weblog_uri
@@ -60,6 +61,10 @@ class LocalAgent:
         Also fetch and mine each replicated peer's weblog during
         :meth:`sync` (needed for split-channel communities; harmless —
         one cheap probe per peer — for merged-channel ones).
+    retry:
+        Opt into bounded retries with backoff for transient fetch
+        failures; circuit breakers and stale-replica fallback come with
+        it (see :mod:`repro.web.faults`).
     """
 
     uri: str
@@ -69,9 +74,10 @@ class LocalAgent:
     mine_weblogs: bool = True
     taxonomy_uri: str = DEFAULT_TAXONOMY_URI
     catalog_uri: str = DEFAULT_CATALOG_URI
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
-        self._crawler = Crawler(web=self.web, store=DocumentStore())
+        self._crawler = Crawler(web=self.web, store=DocumentStore(), retry=self.retry)
         self._dataset: Dataset | None = None
         self._taxonomy: Taxonomy | None = None
         self._recommender: SemanticWebRecommender | None = None
@@ -109,31 +115,41 @@ class LocalAgent:
             formation=self.formation,
             synthesis=self.synthesis,
         )
+        reports = (globals_report, crawl_report, refresh_report)
         return {
-            "fetched": globals_report.fetched
-            + crawl_report.fetched
-            + refresh_report.fetched,
+            "fetched": sum(r.fetched for r in reports),
             "agents_replicated": len(dataset.agents),
             "mined_weblog_ratings": mined,
+            "retries": sum(r.retries for r in reports),
+            "degraded": sum(1 for _ in self._crawler.store.degraded_uris()),
+            "breaker_trips": self._crawler.breakers.trips,
         }
 
     def _mine_weblogs(self, dataset: Dataset) -> int:
         miner = LinkMiner(known_products=frozenset(dataset.products))
+        store = self._crawler.store
         mined = 0
         for agent_uri in sorted(dataset.agents):
             log_uri = weblog_uri(agent_uri)
-            try:
-                result = self.web.fetch(log_uri)
-            except WebError:
-                continue
-            self._crawler.store.put(
-                uri=log_uri,
-                body=result.body,
-                version=result.version,
-                fetched_at=self._crawler.clock,
-                kind="weblog",
-            )
-            for rating in miner.mine(agent_uri, result.body):
+            outcome = self._crawler.fetcher.fetch(log_uri)
+            if outcome.result is not None:
+                body = outcome.result.body
+                store.put(
+                    uri=log_uri,
+                    body=body,
+                    version=outcome.result.version,
+                    fetched_at=self._crawler.clock,
+                    kind="weblog",
+                )
+            else:
+                # Unreachable or missing: mine the stale replica if any.
+                stale = store.get(log_uri)
+                if stale is None:
+                    continue
+                if outcome.error != "missing":
+                    store.mark_degraded(log_uri)
+                body = stale.body
+            for rating in miner.mine(agent_uri, body):
                 dataset.add_rating(rating)
                 mined += 1
         return mined

@@ -6,7 +6,11 @@ Installed as the ``repro`` console script.  Subcommands:
 * ``repro info``       — summarize a dataset snapshot
 * ``repro recommend``  — top-N recommendations for one agent
 * ``repro trust``      — trust neighborhood of one agent (Appleseed/Advogato)
-* ``repro experiment`` — run one EX table (EX01–EX15) and print it
+* ``repro experiment`` — run one EX table (EX01–EX18) and print it
+* ``repro demo``       — full decentralized loop (optionally under faults)
+* ``repro crawl``      — chaos crawl: replicate a community under injected
+  faults (``--fault-rate/--fault-seed/--retries`` …) and report
+  retry/breaker/degradation statistics
 
 Every command works off the JSONL snapshot format of
 :mod:`repro.datasets.io`, so pipelines compose through files::
@@ -60,6 +64,7 @@ _EXPERIMENTS = {
     "EX15": ("experiments_ext", "run_ex15_weblog_mining", True),
     "EX16": ("experiments_ext", "run_ex16_diversification", True),
     "EX17": ("experiments_ext", "run_ex17_distrust", True),
+    "EX18": ("experiments_chaos", "run_ex18_chaos", True),
 }
 
 
@@ -107,7 +112,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="run one experiment table")
     experiment.add_argument("id", choices=sorted(_EXPERIMENTS), metavar="ID",
-                            help="EX01..EX17")
+                            help="EX01..EX18")
 
     demo = sub.add_parser(
         "demo",
@@ -119,8 +124,53 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--limit", type=int, default=5)
     demo.add_argument("--split-channels", action="store_true",
                       help="publish trust on homepages, ratings on weblogs")
+    _add_fault_arguments(demo)
+
+    crawl = sub.add_parser(
+        "crawl",
+        help="chaos crawl: publish a community, replicate it under injected faults",
+    )
+    crawl.add_argument("--agents", type=int, default=120)
+    crawl.add_argument("--products", type=int, default=240)
+    crawl.add_argument("--seed", type=int, default=7,
+                       help="community generation seed")
+    crawl.add_argument("--budget", type=int, default=None,
+                       help="homepage fetch budget (default: unlimited)")
+    crawl.add_argument("--split-channels", action="store_true",
+                       help="publish trust on homepages, ratings on weblogs")
+    _add_fault_arguments(crawl)
 
     return parser
+
+
+def _rate(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {text}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {text}")
+    return value
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared chaos knobs: fault injection rates, seed, and retries."""
+    parser.add_argument("--fault-rate", type=_rate, default=0.0,
+                        help="transient failure probability per fetch attempt")
+    parser.add_argument("--outage-rate", type=_rate, default=0.0,
+                        help="probability a site is permanently down")
+    parser.add_argument("--corruption-rate", type=_rate, default=0.0,
+                        help="probability a fetched body is corrupted")
+    parser.add_argument("--slow-rate", type=_rate, default=0.0,
+                        help="probability a fetch pays extra latency ticks")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for fault injection and retry jitter")
+    parser.add_argument("--retries", type=_nonnegative_int, default=3,
+                        help="max retries per fetch for transient failures")
 
 
 def _pick_agent(dataset, uri: str | None, index: int | None) -> str:
@@ -217,10 +267,14 @@ def _cmd_trust(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     module_name, func_name, needs_community = _EXPERIMENTS[args.id]
-    from .evaluation import experiments, experiments_ext
+    from .evaluation import experiments, experiments_chaos, experiments_ext
 
-    module = experiments if module_name == "experiments" else experiments_ext
-    func = getattr(module, func_name)
+    modules = {
+        "experiments": experiments,
+        "experiments_ext": experiments_ext,
+        "experiments_chaos": experiments_chaos,
+    }
+    func = getattr(modules[module_name], func_name)
     if needs_community:
         table = func(experiments.default_community())
     else:
@@ -229,10 +283,38 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_plan(args: argparse.Namespace):
+    """A :class:`FaultPlan` from CLI flags, or ``None`` when all rates are 0."""
+    from .web.faults import FaultPlan
+
+    rates = (args.fault_rate, args.outage_rate, args.corruption_rate, args.slow_rate)
+    if not any(rate > 0 for rate in rates):
+        return None
+    return FaultPlan(
+        transient_rate=args.fault_rate,
+        outage_rate=args.outage_rate,
+        corruption_rate=args.corruption_rate,
+        slow_rate=args.slow_rate,
+        seed=args.fault_seed,
+    )
+
+
+def _print_fault_summary(web) -> None:
+    """One line of injected-fault totals for a :class:`FaultyWeb`."""
+    print(
+        f"faults injected: {web.transient_failures} transient, "
+        f"{web.outages_hit} outage hits, {web.corrupted_served} corrupted, "
+        f"{web.slow_fetches} slow (+{web.latency_ticks} latency ticks); "
+        f"traffic: {web.fetch_count} fetches, {web.error_count} errors, "
+        f"{web.probe_count} probes"
+    )
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     """The whole decentralized loop in one command."""
     from .agent import LocalAgent
     from .web.crawler import publish_community
+    from .web.faults import FaultyWeb, RetryPolicy
     from .web.network import SimulatedWeb
     from .web.replicator import publish_split_community
 
@@ -250,13 +332,72 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"published {len(web)} documents "
           f"({'split' if args.split_channels else 'merged'} channels)")
 
+    plan = _fault_plan(args)
+    consumer_web = web if plan is None else FaultyWeb(web, plan)
+    retry = RetryPolicy(max_retries=args.retries, seed=args.fault_seed)
     principal = sorted(community.dataset.agents)[0]
-    me = LocalAgent(uri=principal, web=web)
+    me = LocalAgent(uri=principal, web=consumer_web, retry=retry)
     stats = me.sync()
     print(f"synced: {stats}")
+    if plan is not None:
+        _print_fault_summary(consumer_web)
     print(f"\ntop-{args.limit} recommendations for {principal}:")
     for item in me.recommendations(limit=args.limit):
         print(f"  {me.explain(item)}")
+    return 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    """Publish a community and replicate it under injected faults."""
+    from .web.crawler import publish_community
+    from .web.faults import FaultyWeb, RetryPolicy
+    from .web.network import SimulatedWeb
+    from .web.replicator import CommunityReplicator, publish_split_community
+
+    config = CommunityConfig(
+        n_agents=args.agents,
+        n_products=args.products,
+        n_clusters=6,
+        seed=args.seed,
+        taxonomy=book_taxonomy_config(target_topics=400, seed=args.seed),
+    )
+    community = generate_community(config)
+    web = SimulatedWeb()
+    publisher = publish_split_community if args.split_channels else publish_community
+    taxonomy_uri, catalog_uri = publisher(web, community.dataset, community.taxonomy)
+    print(f"published {len(web)} documents "
+          f"({'split' if args.split_channels else 'merged'} channels)")
+
+    plan = _fault_plan(args)
+    consumer_web = web if plan is None else FaultyWeb(web, plan)
+    retry = RetryPolicy(max_retries=args.retries, seed=args.fault_seed)
+    seed_agent = sorted(community.dataset.agents)[0]
+    replicator = CommunityReplicator(web=consumer_web, retry=retry)
+    dataset, _, report = replicator.replicate(
+        [seed_agent],
+        budget=args.budget,
+        taxonomy_uri=taxonomy_uri,
+        catalog_uri=catalog_uri,
+    )
+
+    coverage = len(dataset.agents) / len(community.dataset.agents)
+    print(f"replicated {len(dataset.agents)}/{len(community.dataset.agents)} agents "
+          f"(coverage {coverage:.3f}) from seed {seed_agent}")
+    print(f"fetches: {report.homepage_fetches} homepage budget units, "
+          f"{report.weblog_fetches} weblog, {report.mined_ratings} ratings mined"
+          + (", budget exhausted" if report.budget_exhausted else ""))
+    print(f"resilience: {report.retries} retries, "
+          f"{report.transient_failures} transient failures, "
+          f"{report.backoff_ticks} backoff ticks, "
+          f"{report.breaker_trips} breaker trips, "
+          f"{report.breaker_short_circuits} short circuits")
+    print(f"degradation: {len(report.unreachable)} unreachable, "
+          f"{len(report.degraded)} degraded (stale replica served), "
+          f"{len(report.quarantined)} quarantined, "
+          f"{len(report.weblogs_missing)} weblogs missing, "
+          f"{len(report.parse_failures)} parse failures")
+    if plan is not None:
+        _print_fault_summary(consumer_web)
     return 0
 
 
@@ -270,6 +411,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trust": _cmd_trust,
         "experiment": _cmd_experiment,
         "demo": _cmd_demo,
+        "crawl": _cmd_crawl,
     }
     return handlers[args.command](args)
 

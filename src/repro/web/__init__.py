@@ -1,5 +1,16 @@
 """Simulated decentralized Web: hosting, crawling, local replicas."""
 
+from .faults import (
+    CircuitBreakerRegistry,
+    FaultPlan,
+    FaultyWeb,
+    FetchOutcome,
+    HostDownError,
+    ResilientFetcher,
+    RetryPolicy,
+    TransientWebError,
+    site_of,
+)
 from .freshness import FreshnessPolicy, plan_refresh
 from .crawler import CrawlReport, Crawler, publish_community
 from .network import FetchResult, SimulatedWeb, WebError
@@ -12,16 +23,24 @@ from .storage import DocumentStore, StoredDocument
 from .weblog import LinkMiner, WeblogPost, publish_weblogs, render_weblog, weblog_uri
 
 __all__ = [
+    "CircuitBreakerRegistry",
     "CommunityReplicator",
     "CrawlReport",
     "Crawler",
     "DocumentStore",
+    "FaultPlan",
+    "FaultyWeb",
+    "FetchOutcome",
     "FetchResult",
     "FreshnessPolicy",
+    "HostDownError",
     "LinkMiner",
     "ReplicationReport",
+    "ResilientFetcher",
+    "RetryPolicy",
     "SimulatedWeb",
     "StoredDocument",
+    "TransientWebError",
     "WebError",
     "WeblogPost",
     "plan_refresh",
@@ -29,5 +48,6 @@ __all__ = [
     "publish_split_community",
     "publish_weblogs",
     "render_weblog",
+    "site_of",
     "weblog_uri",
 ]

@@ -29,7 +29,8 @@ from ..semweb.foaf import (
 from ..semweb.namespace import FOAF
 from ..semweb.rdf import URIRef
 from ..semweb.serializer import ParseError, parse_ntriples, serialize_ntriples
-from .network import SimulatedWeb, WebError
+from .faults import CircuitBreakerRegistry, ResilientFetcher, RetryPolicy
+from .network import SimulatedWeb
 from .storage import DocumentStore
 
 __all__ = ["CrawlReport", "Crawler", "publish_community"]
@@ -42,7 +43,20 @@ DEFAULT_CATALOG_URI = "http://repro.example.org/docs/catalog"
 
 @dataclass(frozen=True, slots=True)
 class CrawlReport:
-    """Outcome of one crawl, refresh, or global-document pass."""
+    """Outcome of one crawl, refresh, or global-document pass.
+
+    ``fetched`` counts budget units charged (one per completed transfer
+    plus any injected latency ticks).  The failure fields partition the
+    URIs whose fetch ultimately failed: ``missing`` (clean 404s) and
+    ``unreachable`` (transient retries exhausted, site outages, or open
+    circuit breakers).  ``degraded`` lists the subset of failed URIs the
+    crawl kept serving from a stale replica; ``quarantined`` lists URIs
+    whose freshly fetched body was corrupt and was held aside to protect
+    an existing good replica.  The counters (``retries``,
+    ``transient_failures``, ``backoff_ticks``, ``breaker_trips``,
+    ``breaker_short_circuits``) aggregate the resilience machinery's
+    work during the pass.
+    """
 
     fetched: int
     discovered: int
@@ -50,23 +64,64 @@ class CrawlReport:
     parse_failures: tuple[str, ...]
     budget_exhausted: bool
     frontier_left: tuple[str, ...] = ()
+    unreachable: tuple[str, ...] = ()
+    degraded: tuple[str, ...] = ()
+    quarantined: tuple[str, ...] = ()
+    retries: int = 0
+    transient_failures: int = 0
+    backoff_ticks: int = 0
+    breaker_trips: int = 0
+    breaker_short_circuits: int = 0
+
+
+class _PassStats:
+    """Mutable accumulator for one crawl/refresh pass."""
+
+    def __init__(self) -> None:
+        self.missing: list[str] = []
+        self.parse_failures: list[str] = []
+        self.unreachable: list[str] = []
+        self.degraded: list[str] = []
+        self.quarantined: list[str] = []
+        self.retries = 0
+        self.transient_failures = 0
+        self.backoff_ticks = 0
 
 
 @dataclass
 class Crawler:
-    """Breadth-first FOAF crawler with budget and freshness control.
+    """Breadth-first FOAF crawler with budget, freshness and fault control.
 
     ``clock`` advances by one per pass and stamps every stored document,
     so staleness is measurable in passes as well as document versions.
+
+    ``retry`` opts into bounded retries with backoff for transient
+    failures (default: fetch exactly once, the historical behavior);
+    ``breakers`` holds the per-site circuit breakers, shared across
+    passes so repeatedly failing sites stay short-circuited.  When a
+    fetch ultimately fails but a stale replica exists, the crawl keeps
+    working from the replica (stamped degraded) instead of dropping the
+    region of the graph behind it.
     """
 
     web: SimulatedWeb
     store: DocumentStore = field(default_factory=DocumentStore)
     clock: int = 0
+    retry: RetryPolicy | None = None
+    breakers: CircuitBreakerRegistry | None = None
 
     #: Path-trust assigned to a bare ``foaf:knows`` link with no explicit
     #: trust statement, and the floor for distrusted/zero-weight edges.
     DEFAULT_LINK_TRUST = 0.25
+
+    def __post_init__(self) -> None:
+        if self.breakers is None:
+            self.breakers = CircuitBreakerRegistry()
+        self.fetcher = ResilientFetcher(
+            web=self.web,
+            retry=self.retry or RetryPolicy(max_retries=0),
+            breakers=self.breakers,
+        )
 
     def crawl(
         self,
@@ -93,8 +148,9 @@ class Crawler:
         self.clock += 1
         fetched = 0
         discovered = 0
-        missing: list[str] = []
-        parse_failures: list[str] = []
+        stats = _PassStats()
+        trips_before = self.breakers.trips
+        shorts_before = self.breakers.short_circuits
         budget_exhausted = False
 
         queue: deque[tuple[str, int]] = deque()
@@ -133,17 +189,23 @@ class Crawler:
                     else:
                         queue.appendleft((uri, depth))
                     break
-                if not self._fetch_into_store(uri, "agent", missing, parse_failures):
-                    settled.add(uri)
-                    continue
-                fetched += 1
+                status, cost = self._fetch_document(uri, "agent", stats)
+                fetched += cost
+                if status == "failed":
+                    if replica is None:
+                        settled.add(uri)
+                        continue
+                    # Graceful degradation: keep crawling from the stale
+                    # replica instead of dropping the region behind it.
+                    self.store.mark_degraded(uri)
+                    stats.degraded.append(uri)
                 replica = self.store.get(uri)
             settled.add(uri)
             assert replica is not None
             if max_depth is not None and depth >= max_depth:
                 continue
             for neighbor, weight in self._extract_weighted_links(
-                uri, replica.body, parse_failures
+                uri, replica.body, stats.parse_failures
             ):
                 edge_trust = max(weight, self.DEFAULT_LINK_TRUST)
                 neighbor_trust = path_trust * edge_trust
@@ -170,21 +232,27 @@ class Crawler:
             frontier_left = tuple(sorted(left))
         else:
             frontier_left = tuple(uri for uri, _ in queue)
-        return CrawlReport(
+        return self._report(
+            stats,
             fetched=fetched,
             discovered=discovered,
-            missing=tuple(missing),
-            parse_failures=tuple(sorted(set(parse_failures))),
             budget_exhausted=budget_exhausted,
             frontier_left=frontier_left,
+            trips_before=trips_before,
+            shorts_before=shorts_before,
         )
 
     def refresh(self, budget: int | None = None) -> CrawlReport:
-        """Re-fetch replicated agent documents whose live version advanced."""
+        """Re-fetch replicated agent documents whose live version advanced.
+
+        A replica whose refresh fetch fails stays in service, stamped
+        degraded, so consumers never lose data they already had.
+        """
         self.clock += 1
         fetched = 0
-        missing: list[str] = []
-        parse_failures: list[str] = []
+        stats = _PassStats()
+        trips_before = self.breakers.trips
+        shorts_before = self.breakers.short_circuits
         budget_exhausted = False
         for uri in sorted(self.store.uris(kind="agent")):
             document = self.store.get(uri)
@@ -194,14 +262,18 @@ class Crawler:
             if budget is not None and fetched >= budget:
                 budget_exhausted = True
                 break
-            if self._fetch_into_store(uri, "agent", missing, parse_failures):
-                fetched += 1
-        return CrawlReport(
+            status, cost = self._fetch_document(uri, "agent", stats)
+            fetched += cost
+            if status == "failed":
+                self.store.mark_degraded(uri)
+                stats.degraded.append(uri)
+        return self._report(
+            stats,
             fetched=fetched,
             discovered=0,
-            missing=tuple(missing),
-            parse_failures=tuple(sorted(set(parse_failures))),
             budget_exhausted=budget_exhausted,
+            trips_before=trips_before,
+            shorts_before=shorts_before,
         )
 
     def fetch_global_documents(
@@ -211,18 +283,23 @@ class Crawler:
     ) -> CrawlReport:
         """Fetch the globally accessible taxonomy and catalog documents."""
         self.clock += 1
-        missing: list[str] = []
-        parse_failures: list[str] = []
+        stats = _PassStats()
+        trips_before = self.breakers.trips
+        shorts_before = self.breakers.short_circuits
         fetched = 0
         for uri, kind in ((taxonomy_uri, "taxonomy"), (catalog_uri, "catalog")):
-            if self._fetch_into_store(uri, kind, missing, parse_failures):
-                fetched += 1
-        return CrawlReport(
+            status, cost = self._fetch_document(uri, kind, stats)
+            fetched += cost
+            if status == "failed" and uri in self.store:
+                self.store.mark_degraded(uri)
+                stats.degraded.append(uri)
+        return self._report(
+            stats,
             fetched=fetched,
             discovered=0,
-            missing=tuple(missing),
-            parse_failures=tuple(parse_failures),
             budget_exhausted=False,
+            trips_before=trips_before,
+            shorts_before=shorts_before,
         )
 
     # -- internals ------------------------------------------------------------
@@ -267,25 +344,43 @@ class Crawler:
                     continue
         return sorted(weights.items())
 
-    def _fetch_into_store(
-        self,
-        uri: str,
-        kind: str,
-        missing: list[str],
-        parse_failures: list[str],
-    ) -> bool:
-        try:
-            result = self.web.fetch(uri)
-        except WebError:
-            missing.append(uri)
-            return False
-        if kind == "agent":
+    def _fetch_document(
+        self, uri: str, kind: str, stats: _PassStats
+    ) -> tuple[str, int]:
+        """Fetch *uri* through the resilient fetcher into the store.
+
+        Returns ``(status, cost)``: ``"stored"`` (fresh replica, possibly
+        unparseable but recorded), ``"quarantined"`` (corrupt body held
+        aside to protect an existing good replica), or ``"failed"``
+        (nothing transferred; the caller decides about degradation).
+        *cost* is the budget charge — zero for failures.
+        """
+        outcome = self.fetcher.fetch(uri)
+        stats.retries += outcome.retries
+        stats.transient_failures += outcome.transient_failures
+        stats.backoff_ticks += outcome.backoff_ticks
+        if not outcome.ok:
+            if outcome.error == "missing":
+                stats.missing.append(uri)
+            else:
+                stats.unreachable.append(uri)
+            return "failed", 0
+        result = outcome.result
+        assert result is not None
+        if kind in ("agent", "taxonomy", "catalog"):
             try:
-                parse_agent_homepage(parse_ntriples(result.body))
+                graph = parse_ntriples(result.body)
+                if kind == "agent":
+                    parse_agent_homepage(graph)
             except (ParseError, ValueError):
+                if uri in self.store:
+                    # Never clobber a good replica with a corrupt download.
+                    self.store.quarantine(uri, result.body)
+                    stats.quarantined.append(uri)
+                    return "quarantined", outcome.cost
                 # Store anyway: assembly will skip it, a later refresh may
                 # pick up a repaired version.
-                parse_failures.append(uri)
+                stats.parse_failures.append(uri)
         self.store.put(
             uri=uri,
             body=result.body,
@@ -293,7 +388,35 @@ class Crawler:
             fetched_at=self.clock,
             kind=kind,
         )
-        return True
+        return "stored", outcome.cost
+
+    def _report(
+        self,
+        stats: _PassStats,
+        *,
+        fetched: int,
+        discovered: int,
+        budget_exhausted: bool,
+        frontier_left: tuple[str, ...] = (),
+        trips_before: int = 0,
+        shorts_before: int = 0,
+    ) -> CrawlReport:
+        return CrawlReport(
+            fetched=fetched,
+            discovered=discovered,
+            missing=tuple(stats.missing),
+            parse_failures=tuple(sorted(set(stats.parse_failures))),
+            budget_exhausted=budget_exhausted,
+            frontier_left=frontier_left,
+            unreachable=tuple(stats.unreachable),
+            degraded=tuple(stats.degraded),
+            quarantined=tuple(stats.quarantined),
+            retries=stats.retries,
+            transient_failures=stats.transient_failures,
+            backoff_ticks=stats.backoff_ticks,
+            breaker_trips=self.breakers.trips - trips_before,
+            breaker_short_circuits=self.breakers.short_circuits - shorts_before,
+        )
 
 
 def publish_community(

@@ -15,6 +15,12 @@ the store already has (no content inspection):
 * ``stale_first`` — probe live versions (cheap HEAD-style calls) and
   refresh only documents whose version actually advanced, oldest lag
   first.  Costs one probe per document but never wastes a fetch.
+* ``degraded_first`` — repair replicas stamped degraded (their last
+  refresh failed and a stale copy is in service) before anything else,
+  then fall back to ``stale_first`` ordering for the healthy rest.
+
+Probe traffic is charged to the web's ``probe_count``, so policies that
+probe (``stale_first``, ``degraded_first``) pay for their accuracy.
 """
 
 from __future__ import annotations
@@ -26,14 +32,14 @@ from .storage import DocumentStore
 
 __all__ = ["FreshnessPolicy", "plan_refresh"]
 
-PolicyName = Literal["oldest_first", "round_robin", "stale_first"]
+PolicyName = Literal["oldest_first", "round_robin", "stale_first", "degraded_first"]
 
 
 class FreshnessPolicy:
     """Ranks replicated documents for refreshing (see module docstring)."""
 
     def __init__(self, name: PolicyName = "oldest_first") -> None:
-        if name not in ("oldest_first", "round_robin", "stale_first"):
+        if name not in ("oldest_first", "round_robin", "stale_first", "degraded_first"):
             raise ValueError(f"unknown freshness policy {name!r}")
         self.name = name
 
@@ -55,7 +61,22 @@ class FreshnessPolicy:
         if self.name == "round_robin":
             offset = pass_number % len(uris)
             return uris[offset:] + uris[:offset]
+        if self.name == "degraded_first":
+            # Repair degraded replicas first (oldest fetch first), then
+            # the healthy-but-stale rest in stale_first order.
+            degraded = sorted(
+                (uri for uri in uris if store.get(uri).degraded),
+                key=lambda uri: (store.get(uri).fetched_at, uri),
+            )
+            healthy = [uri for uri in uris if not store.get(uri).degraded]
+            return degraded + self._stale_order(healthy, store, web)
         # stale_first: probe versions, keep only actually-stale documents.
+        return self._stale_order(uris, store, web)
+
+    @staticmethod
+    def _stale_order(
+        uris: list[str], store: DocumentStore, web: SimulatedWeb
+    ) -> list[str]:
         staleness = {
             uri: store.staleness(uri, web.version(uri)) for uri in uris
         }

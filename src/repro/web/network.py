@@ -44,12 +44,20 @@ class SimulatedWeb:
       only the newest.
     * :meth:`fetch` returns the visible version and counts traffic, so
       experiments can charge crawlers a fetch budget.
+
+    All traffic is counted, not just successes: ``fetch_count`` tallies
+    delivered documents, ``error_count`` failed fetches (404s, plus any
+    fault a wrapping :class:`~repro.web.faults.FaultyWeb` injects), and
+    ``probe_count`` the cheap :meth:`version` HEAD probes freshness
+    policies rely on — so budgets and benchmarks charge every request.
     """
 
     def __init__(self) -> None:
         self._visible: dict[str, tuple[str, int]] = {}
         self._staged: dict[str, str] = {}
         self.fetch_count = 0
+        self.error_count = 0
+        self.probe_count = 0
 
     # -- hosting -------------------------------------------------------------
 
@@ -88,6 +96,7 @@ class SimulatedWeb:
         """Fetch the visible document at *uri*; raises :class:`WebError` on 404."""
         entry = self._visible.get(uri)
         if entry is None:
+            self.error_count += 1
             raise WebError(uri)
         self.fetch_count += 1
         body, version = entry
@@ -99,8 +108,14 @@ class SimulatedWeb:
 
     def version(self, uri: str) -> int:
         """Visible version of *uri* (0 when unhosted) — cheap HEAD request."""
+        self.probe_count += 1
         entry = self._visible.get(uri)
         return entry[1] if entry else 0
+
+    @property
+    def total_traffic(self) -> int:
+        """Every request this web ever answered: fetches, errors, probes."""
+        return self.fetch_count + self.error_count + self.probe_count
 
     def uris(self) -> Iterator[str]:
         """All URIs currently hosting visible documents."""

@@ -26,6 +26,7 @@ from ..core.taxonomy import Taxonomy
 from ..semweb.foaf import publish_agent, publish_catalog, publish_taxonomy
 from ..semweb.serializer import serialize_ntriples
 from .crawler import DEFAULT_CATALOG_URI, DEFAULT_TAXONOMY_URI, Crawler
+from .faults import RetryPolicy
 from .network import SimulatedWeb, WebError
 from .storage import DocumentStore
 from .weblog import LinkMiner, publish_weblogs, weblog_uri
@@ -58,7 +59,14 @@ def publish_split_community(
 
 @dataclass(frozen=True, slots=True)
 class ReplicationReport:
-    """Outcome of one :meth:`CommunityReplicator.replicate` pass."""
+    """Outcome of one :meth:`CommunityReplicator.replicate` pass.
+
+    The resilience fields mirror :class:`~repro.web.crawler.CrawlReport`
+    but aggregate the whole pass (global documents + homepage crawl +
+    weblog fetches): ``unreachable`` lists URIs whose fetch failed for
+    infrastructure reasons, ``degraded`` the subset served from a stale
+    replica instead, and ``quarantined`` corrupt downloads held aside.
+    """
 
     homepage_fetches: int
     weblog_fetches: int
@@ -67,14 +75,28 @@ class ReplicationReport:
     mined_ratings: int
     unmapped_links: int
     budget_exhausted: bool
+    unreachable: tuple[str, ...] = ()
+    degraded: tuple[str, ...] = ()
+    quarantined: tuple[str, ...] = ()
+    retries: int = 0
+    transient_failures: int = 0
+    backoff_ticks: int = 0
+    breaker_trips: int = 0
+    breaker_short_circuits: int = 0
 
 
 @dataclass
 class CommunityReplicator:
-    """Crawl homepages + mine weblogs into one recommendable dataset."""
+    """Crawl homepages + mine weblogs into one recommendable dataset.
+
+    ``retry`` opts the whole pass — globals, homepages, and weblogs —
+    into bounded retries with backoff; circuit breakers are shared with
+    the crawler so a failing site is skipped consistently.
+    """
 
     web: SimulatedWeb
     store: DocumentStore = field(default_factory=DocumentStore)
+    retry: RetryPolicy | None = None
 
     def replicate(
         self,
@@ -91,8 +113,8 @@ class CommunityReplicator:
         Returns the assembled partial dataset (trust from homepages,
         ratings from weblogs), the shared taxonomy, and a report.
         """
-        crawler = Crawler(web=self.web, store=self.store)
-        crawler.fetch_global_documents(taxonomy_uri, catalog_uri)
+        crawler = Crawler(web=self.web, store=self.store, retry=self.retry)
+        globals_report = crawler.fetch_global_documents(taxonomy_uri, catalog_uri)
         crawl_report = crawler.crawl(seeds, budget=budget)
 
         dataset, assembly_failures = self.store.assemble_dataset()
@@ -103,26 +125,46 @@ class CommunityReplicator:
         miner = LinkMiner(known_products=frozenset(dataset.products))
         weblog_fetches = 0
         weblogs_missing: list[str] = []
+        weblog_unreachable: list[str] = []
+        weblog_degraded: list[str] = []
+        retries = 0
+        transients = 0
+        backoff = 0
         mined = 0
         for agent_uri in sorted(dataset.agents):
             log_uri = weblog_uri(agent_uri)
-            try:
-                result = self.web.fetch(log_uri)
-            except WebError:
+            outcome = crawler.fetcher.fetch(log_uri)
+            retries += outcome.retries
+            transients += outcome.transient_failures
+            backoff += outcome.backoff_ticks
+            if outcome.result is not None:
+                weblog_fetches += outcome.cost
+                body = outcome.result.body
+                self.store.put(
+                    uri=log_uri,
+                    body=body,
+                    version=outcome.result.version,
+                    fetched_at=crawler.clock,
+                    kind="weblog",
+                )
+            elif outcome.error == "missing":
                 weblogs_missing.append(log_uri)
                 continue
-            weblog_fetches += 1
-            self.store.put(
-                uri=log_uri,
-                body=result.body,
-                version=result.version,
-                fetched_at=crawler.clock,
-                kind="weblog",
-            )
-            for rating in miner.mine(agent_uri, result.body):
+            else:
+                # Unreachable: mine the stale replica when we have one, so
+                # transient weblog outages don't drop known ratings.
+                weblog_unreachable.append(log_uri)
+                stale = self.store.get(log_uri)
+                if stale is None:
+                    continue
+                self.store.mark_degraded(log_uri)
+                weblog_degraded.append(log_uri)
+                body = stale.body
+            for rating in miner.mine(agent_uri, body):
                 dataset.add_rating(rating)
                 mined += 1
 
+        passes = (globals_report, crawl_report)
         report = ReplicationReport(
             homepage_fetches=crawl_report.fetched,
             weblog_fetches=weblog_fetches,
@@ -133,5 +175,25 @@ class CommunityReplicator:
             mined_ratings=mined,
             unmapped_links=len(miner.unmapped),
             budget_exhausted=crawl_report.budget_exhausted,
+            unreachable=tuple(
+                sorted(
+                    {uri for p in passes for uri in p.unreachable}
+                    | set(weblog_unreachable)
+                )
+            ),
+            degraded=tuple(
+                sorted(
+                    {uri for p in passes for uri in p.degraded}
+                    | set(weblog_degraded)
+                )
+            ),
+            quarantined=tuple(
+                sorted({uri for p in passes for uri in p.quarantined})
+            ),
+            retries=sum(p.retries for p in passes) + retries,
+            transient_failures=sum(p.transient_failures for p in passes) + transients,
+            backoff_ticks=sum(p.backoff_ticks for p in passes) + backoff,
+            breaker_trips=crawler.breakers.trips,
+            breaker_short_circuits=crawler.breakers.short_circuits,
         )
         return dataset, taxonomy, report

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from collections.abc import Iterator
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from ..core.models import Dataset, Product
@@ -28,12 +28,18 @@ __all__ = ["DocumentStore", "StoredDocument"]
 
 @dataclass(frozen=True, slots=True)
 class StoredDocument:
-    """One replicated document with its provenance metadata."""
+    """One replicated document with its provenance metadata.
+
+    ``degraded`` marks a replica that is being served although its last
+    refresh attempt failed (stale fallback) — consumers keep working
+    from it, and freshness policies can prioritize repairing it.
+    """
 
     uri: str
     body: str
     version: int
     fetched_at: int
+    degraded: bool = False
 
 
 class DocumentStore:
@@ -49,6 +55,9 @@ class DocumentStore:
     def __init__(self) -> None:
         self._documents: dict[str, StoredDocument] = {}
         self._kinds: dict[str, str] = {}
+        self._quarantined: dict[str, str] = {}
+        #: ``(line number, reason)`` pairs for records skipped by :meth:`load`.
+        self.load_errors: list[tuple[int, str]] = []
 
     # -- replica maintenance ---------------------------------------------------
 
@@ -59,12 +68,14 @@ class DocumentStore:
         version: int,
         fetched_at: int,
         kind: str = "agent",
+        degraded: bool = False,
     ) -> None:
         """Store (or refresh) the replica of *uri*."""
         if kind not in ("agent", "taxonomy", "catalog", "weblog"):
             raise ValueError(f"unknown document kind {kind!r}")
         self._documents[uri] = StoredDocument(
-            uri=uri, body=body, version=version, fetched_at=fetched_at
+            uri=uri, body=body, version=version, fetched_at=fetched_at,
+            degraded=degraded,
         )
         self._kinds[uri] = kind
 
@@ -73,6 +84,40 @@ class DocumentStore:
 
     def kind(self, uri: str) -> str | None:
         return self._kinds.get(uri)
+
+    def mark_degraded(self, uri: str) -> None:
+        """Stamp the replica of *uri* as degraded (stale fallback in use)."""
+        document = self._documents.get(uri)
+        if document is not None and not document.degraded:
+            self._documents[uri] = replace(document, degraded=True)
+
+    def quarantine(self, uri: str, body: str) -> None:
+        """Hold a corrupt fetched body aside without touching the replica.
+
+        A corrupted download must never clobber a good replica; assembly
+        ignores quarantined bodies entirely.  Re-quarantining keeps only
+        the newest body.
+        """
+        self._quarantined[uri] = body
+
+    def degraded_uris(self) -> Iterator[str]:
+        """URIs whose replica is currently stamped degraded."""
+        for uri, document in self._documents.items():
+            if document.degraded:
+                yield uri
+
+    def quarantined_uris(self) -> Iterator[str]:
+        """URIs with a quarantined (corrupt) body held aside."""
+        return iter(self._quarantined)
+
+    def coverage_summary(self) -> dict[str, int]:
+        """Replica health at a glance: totals per degradation state."""
+        degraded = sum(1 for doc in self._documents.values() if doc.degraded)
+        return {
+            "documents": len(self._documents),
+            "degraded": degraded,
+            "quarantined": len(self._quarantined),
+        }
 
     def __contains__(self, uri: str) -> bool:
         return uri in self._documents
@@ -159,26 +204,42 @@ class DocumentStore:
                     "version": document.version,
                     "fetched_at": document.fetched_at,
                     "kind": self._kinds[uri],
+                    "degraded": document.degraded,
                 }
                 handle.write(json.dumps(record, sort_keys=True))
                 handle.write("\n")
 
     @classmethod
-    def load(cls, path: str | Path) -> "DocumentStore":
-        """Restore a replica saved by :meth:`save`."""
+    def load(cls, path: str | Path, strict: bool = False) -> "DocumentStore":
+        """Restore a replica saved by :meth:`save`.
+
+        A crawl that crashed mid-save leaves truncated or garbled lines;
+        by default those are skipped and reported through the returned
+        store's :attr:`load_errors` (``(line number, reason)`` pairs) so
+        the surviving replica is still resumable.  ``strict=True``
+        restores the raise-on-first-error behavior.
+        """
         store = cls()
         path = Path(path)
         with path.open("r", encoding="utf-8") as handle:
-            for line in handle:
+            for line_number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
-                record = json.loads(line)
-                store.put(
-                    uri=record["uri"],
-                    body=record["body"],
-                    version=int(record["version"]),
-                    fetched_at=int(record["fetched_at"]),
-                    kind=record.get("kind", "agent"),
-                )
+                try:
+                    record = json.loads(line)
+                    if not isinstance(record, dict):
+                        raise ValueError("record is not a JSON object")
+                    store.put(
+                        uri=str(record["uri"]),
+                        body=str(record["body"]),
+                        version=int(record["version"]),
+                        fetched_at=int(record["fetched_at"]),
+                        kind=record.get("kind", "agent"),
+                        degraded=bool(record.get("degraded", False)),
+                    )
+                except (KeyError, TypeError, ValueError) as error:
+                    if strict:
+                        raise
+                    store.load_errors.append((line_number, str(error)))
         return store

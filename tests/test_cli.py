@@ -169,3 +169,58 @@ class TestParser:
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCrawl:
+    def test_fault_free_crawl_reports_full_coverage(self, capsys):
+        code = main(["crawl", "--agents", "30", "--products", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "merged channels" in out
+        assert "resilience: 0 retries" in out
+        assert "0 breaker trips" in out
+
+    def test_chaos_flags_inject_and_report_faults(self, capsys):
+        code = main(
+            ["crawl", "--agents", "30", "--products", "60", "--split-channels",
+             "--fault-rate", "0.3", "--fault-seed", "3", "--retries", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "split channels" in out
+        assert "faults injected:" in out
+        assert "resilience:" in out
+        assert "degradation:" in out
+
+    def test_chaos_crawl_is_seeded(self, capsys):
+        argv = ["crawl", "--agents", "30", "--products", "60",
+                "--fault-rate", "0.4", "--fault-seed", "11"]
+        outputs = []
+        for _ in range(2):
+            assert main(list(argv)) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+
+class TestDemoUnderFaults:
+    def test_demo_survives_faults_and_reports_them(self, capsys):
+        code = main(
+            ["demo", "--agents", "30", "--products", "60", "--limit", "2",
+             "--fault-rate", "0.2", "--fault-seed", "2", "--retries", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults injected:" in out
+        assert "recommended because" in out
+
+    def test_out_of_range_fault_rate_rejected_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["crawl", "--fault-rate", "1.5"])
+        assert excinfo.value.code == 2
+        assert "must be in [0, 1]" in capsys.readouterr().err
+
+    def test_negative_retries_rejected_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["crawl", "--retries", "-1"])
+        assert excinfo.value.code == 2
+        assert "must be non-negative" in capsys.readouterr().err

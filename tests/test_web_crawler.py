@@ -232,3 +232,89 @@ class TestEndToEnd:
         assert {r.product for r in recs} <= {
             r.product for r in reference.recommend(ALICE, limit=100)
         }
+
+
+class TestCrawlUnderFaults:
+    """Satellites for the resilience layer: degradation and quarantine."""
+
+    def test_degraded_fallback_uses_stale_replica(self, published):
+        from repro.web.faults import FaultPlan, FaultyWeb, RetryPolicy
+
+        web, _, _ = published
+        warm = Crawler(web=web)
+        warm.crawl([ALICE])
+        old_body = warm.store.get(ALICE).body
+        # Every crawled homepage advances, then the Web goes dark.
+        for uri in list(warm.store.uris(kind="agent")):
+            web.publish(uri, web.fetch(uri).body + "\n")
+        dark = Crawler(
+            web=FaultyWeb(web, FaultPlan(transient_rate=1.0, seed=1)),
+            store=warm.store,
+            retry=RetryPolicy(max_retries=1),
+        )
+        report = dark.crawl([ALICE])
+        assert ALICE in report.degraded
+        assert set(report.degraded) == set(report.unreachable)
+        assert report.retries > 0
+        # The stale replica survives, is stamped, and still assembles.
+        assert dark.store.get(ALICE).body == old_body
+        assert dark.store.get(ALICE).degraded
+        dataset, failures = dark.store.assemble_dataset()
+        assert not failures
+        assert ALICE in dataset.agents
+
+    def test_successful_refetch_clears_degraded_stamp(self, published):
+        from repro.web.faults import FaultPlan, FaultyWeb
+
+        web, _, _ = published
+        warm = Crawler(web=web)
+        warm.crawl([ALICE])
+        web.publish(ALICE, web.fetch(ALICE).body + "\n")
+        dark = Crawler(
+            web=FaultyWeb(web, FaultPlan(transient_rate=1.0, seed=1)),
+            store=warm.store,
+        )
+        dark.crawl([ALICE])
+        assert warm.store.get(ALICE).degraded
+        warm.crawl([ALICE])  # the Web is reachable again
+        assert not warm.store.get(ALICE).degraded
+        assert list(warm.store.degraded_uris()) == []
+
+    def test_quarantine_protects_good_replica(self, published):
+        from repro.web.faults import FaultPlan, FaultyWeb
+
+        web, _, _ = published
+        warm = Crawler(web=web)
+        warm.crawl([ALICE])
+        old_body = warm.store.get(ALICE).body
+        web.publish(ALICE, web.fetch(ALICE).body + "\n")
+        corrupting = Crawler(
+            web=FaultyWeb(web, FaultPlan(corruption_rate=1.0, seed=3)),
+            store=warm.store,
+        )
+        report = corrupting.crawl([ALICE])
+        assert ALICE in report.quarantined
+        assert corrupting.store.get(ALICE).body == old_body
+        assert ALICE in corrupting.store.quarantined_uris()
+        dataset, failures = corrupting.store.assemble_dataset()
+        assert not failures
+
+    def test_breaker_trips_surface_in_report(self, published):
+        from repro.web.faults import (
+            CircuitBreakerRegistry,
+            FaultPlan,
+            FaultyWeb,
+            RetryPolicy,
+        )
+
+        web, _, _ = published
+        crawler = Crawler(
+            web=FaultyWeb(web, FaultPlan(transient_rate=1.0, seed=2)),
+            retry=RetryPolicy(max_retries=5),
+            breakers=CircuitBreakerRegistry(failure_threshold=2, cooldown_ticks=50),
+        )
+        report = crawler.crawl([ALICE])
+        assert ALICE in report.unreachable
+        assert report.breaker_trips >= 1
+        assert report.breaker_short_circuits >= 1
+        assert report.fetched == 0  # failed attempts never charge budget

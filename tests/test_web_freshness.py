@@ -98,3 +98,21 @@ class TestPlanRefresh:
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError):
             FreshnessPolicy("bogus")
+
+
+class TestDegradedFirst:
+    def test_degraded_replicas_repair_before_stale_ones(self):
+        store, web = _world()
+        web.publish("u:b", "v2")  # stale but healthy
+        store.mark_degraded("u:a")
+        store.mark_degraded("u:c")
+        order = FreshnessPolicy("degraded_first").order(store, web)
+        # Degraded docs first (oldest fetch first), then stale healthy.
+        assert order == ["u:c", "u:a", "u:b"]
+
+    def test_without_degradation_matches_stale_first(self):
+        store, web = _world()
+        web.publish("u:b", "new")
+        assert FreshnessPolicy("degraded_first").order(store, web) == (
+            FreshnessPolicy("stale_first").order(store, web)
+        )

@@ -94,3 +94,39 @@ class TestAsynchronousUpdates:
 
     def test_deliver_empty(self):
         assert SimulatedWeb().deliver() == 0
+
+
+class TestTrafficAccounting:
+    def test_missing_fetch_counts_as_error_not_fetch(self):
+        import pytest
+
+        from repro.web.network import WebError
+
+        web = SimulatedWeb()
+        web.publish("u:1", "x")
+        web.fetch("u:1")
+        with pytest.raises(WebError):
+            web.fetch("u:ghost")
+        assert web.fetch_count == 1
+        assert web.error_count == 1
+
+    def test_version_probes_counted_separately(self):
+        web = SimulatedWeb()
+        web.publish("u:1", "x")
+        web.version("u:1")
+        web.version("u:ghost")
+        assert web.probe_count == 2
+        assert web.fetch_count == 0
+
+    def test_total_traffic_sums_all_interactions(self):
+        import pytest
+
+        from repro.web.network import WebError
+
+        web = SimulatedWeb()
+        web.publish("u:1", "x")
+        web.fetch("u:1")
+        web.version("u:1")
+        with pytest.raises(WebError):
+            web.fetch("u:ghost")
+        assert web.total_traffic == 3

@@ -9,6 +9,7 @@ from repro.semweb.foaf import parse_agent_homepage
 from repro.semweb.serializer import parse_ntriples
 from repro.web.network import SimulatedWeb
 from repro.web.replicator import CommunityReplicator, publish_split_community
+from repro.web.storage import DocumentStore
 from repro.web.weblog import weblog_uri
 
 
@@ -118,3 +119,52 @@ class TestCommunityReplicator:
         )
         weblog_docs = list(replicator.store.uris(kind="weblog"))
         assert len(weblog_docs) == len(dataset.agents)
+
+
+class TestReplicationUnderFaults:
+    """Satellites for the resilience layer at the replicator level."""
+
+    def test_retries_recover_the_full_community(self, split_world):
+        from repro.web.faults import FaultPlan, FaultyWeb, RetryPolicy
+
+        web, taxonomy_uri, catalog_uri, community = split_world
+        seed = sorted(community.dataset.agents)[0]
+        reference, _, _ = CommunityReplicator(web=web).replicate(
+            [seed], taxonomy_uri=taxonomy_uri, catalog_uri=catalog_uri
+        )
+        faulty = FaultyWeb(web, FaultPlan(transient_rate=0.2, seed=17))
+        replicator = CommunityReplicator(
+            web=faulty, retry=RetryPolicy(max_retries=5, seed=17)
+        )
+        dataset, _, report = replicator.replicate(
+            [seed], taxonomy_uri=taxonomy_uri, catalog_uri=catalog_uri
+        )
+        assert report.retries > 0
+        assert report.unreachable == ()
+        assert sorted(dataset.agents) == sorted(reference.agents)
+        assert dataset.ratings == reference.ratings
+
+    def test_stale_weblogs_still_mined_when_web_goes_dark(self, split_world):
+        from repro.web.faults import FaultPlan, FaultyWeb, RetryPolicy
+
+        web, taxonomy_uri, catalog_uri, community = split_world
+        seed = sorted(community.dataset.agents)[0]
+        store = DocumentStore()
+        warm_dataset, _, _ = CommunityReplicator(web=web, store=store).replicate(
+            [seed], taxonomy_uri=taxonomy_uri, catalog_uri=catalog_uri
+        )
+        dark = CommunityReplicator(
+            web=FaultyWeb(web, FaultPlan(transient_rate=1.0, seed=5)),
+            store=store,
+            retry=RetryPolicy(max_retries=1),
+        )
+        dataset, _, report = dark.replicate(
+            [seed], taxonomy_uri=taxonomy_uri, catalog_uri=catalog_uri
+        )
+        # Nothing was reachable, yet the stale replicas still deliver the
+        # same community and the same mined ratings.
+        assert report.weblog_fetches == 0
+        assert len(report.degraded) > 0
+        assert sorted(dataset.agents) == sorted(warm_dataset.agents)
+        assert dataset.ratings == warm_dataset.ratings
+        assert report.mined_ratings > 0

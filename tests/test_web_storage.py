@@ -132,3 +132,76 @@ class TestPersistence:
         )
         loaded = DocumentStore.load(path)
         assert len(loaded) == 1
+
+
+class TestLoadHardening:
+    GOOD = '{"uri": "u:%d", "body": "x", "version": 1, "fetched_at": 1, "kind": "agent"}'
+
+    def test_corrupt_lines_skipped_and_reported(self, tmp_path):
+        path = tmp_path / "replica.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    self.GOOD % 1,
+                    "{this is not json",
+                    '{"body": "missing uri field"}',
+                    self.GOOD % 2,
+                    '{"uri": "u:3", "body": "x", "version": "not-an-int", '
+                    '"fetched_at": 1, "kind": "agent"}',
+                ]
+            )
+            + "\n"
+        )
+        loaded = DocumentStore.load(path)
+        assert sorted(loaded.uris()) == ["u:1", "u:2"]
+        assert [line for line, _ in loaded.load_errors] == [2, 3, 5]
+
+    def test_strict_load_raises_on_first_corrupt_line(self, tmp_path):
+        path = tmp_path / "replica.jsonl"
+        path.write_text(self.GOOD % 1 + "\n{broken\n")
+        with pytest.raises(ValueError):
+            DocumentStore.load(path, strict=True)
+
+    def test_clean_load_reports_no_errors(self, tmp_path):
+        path = tmp_path / "replica.jsonl"
+        path.write_text(self.GOOD % 1 + "\n")
+        assert DocumentStore.load(path).load_errors == []
+
+
+class TestDegradationBookkeeping:
+    def test_degraded_flag_round_trips_through_jsonl(self, tmp_path):
+        store = DocumentStore()
+        store.put("u:a", "body", version=1, fetched_at=1, kind="agent")
+        store.mark_degraded("u:a")
+        path = tmp_path / "replica.jsonl"
+        store.save(path)
+        loaded = DocumentStore.load(path)
+        assert loaded.get("u:a").degraded
+        assert list(loaded.degraded_uris()) == ["u:a"]
+
+    def test_fresh_put_clears_degraded(self):
+        store = DocumentStore()
+        store.put("u:a", "old", version=1, fetched_at=1, kind="agent")
+        store.mark_degraded("u:a")
+        store.put("u:a", "new", version=2, fetched_at=2, kind="agent")
+        assert not store.get("u:a").degraded
+        assert list(store.degraded_uris()) == []
+
+    def test_quarantine_leaves_replica_untouched(self):
+        store = DocumentStore()
+        store.put("u:a", "good", version=1, fetched_at=1, kind="agent")
+        store.quarantine("u:a", "corrupt bytes")
+        assert store.get("u:a").body == "good"
+        assert list(store.quarantined_uris()) == ["u:a"]
+
+    def test_coverage_summary_counts(self):
+        store = DocumentStore()
+        store.put("u:a", "x", version=1, fetched_at=1, kind="agent")
+        store.put("u:b", "y", version=1, fetched_at=1, kind="agent")
+        store.mark_degraded("u:b")
+        store.quarantine("u:a", "junk")
+        assert store.coverage_summary() == {
+            "documents": 2,
+            "degraded": 1,
+            "quarantined": 1,
+        }
