@@ -6,7 +6,8 @@ Installed as the ``repro`` console script.  Subcommands:
 * ``repro info``       — summarize a dataset snapshot
 * ``repro recommend``  — top-N recommendations for one agent
 * ``repro trust``      — trust neighborhood of one agent (Appleseed/Advogato)
-* ``repro experiment`` — run one EX table (EX01–EX18) and print it
+* ``repro experiment`` — run one EX table (EX01–EX19) and print it;
+  ``--parallel N`` fans EX05/EX06 out over worker processes
 * ``repro demo``       — full decentralized loop (optionally under faults)
 * ``repro crawl``      — chaos crawl: replicate a community under injected
   faults (``--fault-rate/--fault-seed/--retries`` …) and report
@@ -65,7 +66,12 @@ _EXPERIMENTS = {
     "EX16": ("experiments_ext", "run_ex16_diversification", True),
     "EX17": ("experiments_ext", "run_ex17_distrust", True),
     "EX18": ("experiments_chaos", "run_ex18_chaos", True),
+    "EX19": ("experiments_perf", "run_ex19_engine", False),
 }
+
+#: Experiments whose runner accepts a ``runner=`` keyword for parallel
+#: per-user / per-agent fan-out (``repro experiment --parallel N``).
+_PARALLELIZABLE = {"EX05", "EX06"}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -101,6 +107,13 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["hybrid", "cf", "trust", "popularity", "random"],
         default="hybrid",
     )
+    recommend.add_argument(
+        "--engine",
+        choices=["auto", "numpy", "python"],
+        default="auto",
+        help="similarity engine for hybrid/cf (results are identical; "
+             "numpy is faster at community scale)",
+    )
 
     trust = sub.add_parser("trust", help="compute a trust neighborhood")
     trust.add_argument("--data", required=True)
@@ -112,7 +125,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="run one experiment table")
     experiment.add_argument("id", choices=sorted(_EXPERIMENTS), metavar="ID",
-                            help="EX01..EX18")
+                            help="EX01..EX19")
+    experiment.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="worker processes for per-user fan-out "
+             f"({', '.join(sorted(_PARALLELIZABLE))} only); "
+             "tables are identical to serial runs",
+    )
 
     demo = sub.add_parser(
         "demo",
@@ -223,10 +242,12 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     if args.method == "hybrid":
         recommender = SemanticWebRecommender(
             dataset=dataset, graph=graph, profiles=store,
-            formation=NeighborhoodFormation(),
+            formation=NeighborhoodFormation(), engine=args.engine,
         )
     elif args.method == "cf":
-        recommender = PureCFRecommender(dataset=dataset, profiles=store)
+        recommender = PureCFRecommender(
+            dataset=dataset, profiles=store, engine=args.engine
+        )
     elif args.method == "trust":
         recommender = TrustOnlyRecommender(dataset=dataset, graph=graph)
     elif args.method == "popularity":
@@ -267,18 +288,34 @@ def _cmd_trust(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     module_name, func_name, needs_community = _EXPERIMENTS[args.id]
-    from .evaluation import experiments, experiments_chaos, experiments_ext
+    from .evaluation import (
+        experiments,
+        experiments_chaos,
+        experiments_ext,
+        experiments_perf,
+    )
 
     modules = {
         "experiments": experiments,
         "experiments_ext": experiments_ext,
         "experiments_chaos": experiments_chaos,
+        "experiments_perf": experiments_perf,
     }
     func = getattr(modules[module_name], func_name)
+    kwargs = {}
+    if args.parallel is not None:
+        if args.id not in _PARALLELIZABLE:
+            raise SystemExit(
+                f"error: --parallel supports {', '.join(sorted(_PARALLELIZABLE))} "
+                f"only, not {args.id}"
+            )
+        from .perf.parallel import ParallelExperimentRunner
+
+        kwargs["runner"] = ParallelExperimentRunner(max_workers=args.parallel)
     if needs_community:
-        table = func(experiments.default_community())
+        table = func(experiments.default_community(), **kwargs)
     else:
-        table = func()
+        table = func(**kwargs)
     print(table.render())
     return 0
 

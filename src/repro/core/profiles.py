@@ -110,6 +110,11 @@ class TaxonomyProfileBuilder:
         self.negative_mode = negative_mode
         # Per-topic path distributions are rating-independent, so memoize.
         self._path_cache: dict[str, dict[str, float]] = {}
+        # Descriptor filtering is product-and-taxonomy-dependent only, yet
+        # it used to be re-sorted for every rating of every agent; memoize
+        # per product identifier (descriptor sets are frozen on Product and
+        # identifiers are globally unique, the paper's ISBN assumption).
+        self._descriptor_cache: dict[str, list[str]] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -170,7 +175,11 @@ class TaxonomyProfileBuilder:
         return contributions
 
     def _known_descriptors(self, product: Product) -> list[str]:
-        return sorted(t for t in product.descriptors if t in self.taxonomy)
+        cached = self._descriptor_cache.get(product.identifier)
+        if cached is None:
+            cached = sorted(t for t in product.descriptors if t in self.taxonomy)
+            self._descriptor_cache[product.identifier] = cached
+        return cached
 
     def _path_scores(self, topic: str) -> dict[str, float]:
         cached = self._path_cache.get(topic)

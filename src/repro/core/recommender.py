@@ -28,9 +28,14 @@ Baselines for the experiments:
 
 from __future__ import annotations
 
+import heapq
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..perf.matrix import ProfileMatrix
 
 from ..trust.graph import TrustGraph
 from .models import Dataset
@@ -75,6 +80,7 @@ class ProfileStore:
         self.dataset = dataset
         self.builder = builder
         self._cache: dict[str, Profile] = {}
+        self._matrix: "ProfileMatrix | None" = None
 
     def profile(self, agent: str) -> Profile:
         """The taxonomy profile of *agent* (cached)."""
@@ -85,8 +91,27 @@ class ProfileStore:
             self._cache[agent] = cached
         return cached
 
+    def matrix(self) -> "ProfileMatrix":
+        """The whole community's profiles packed for the numpy engine.
+
+        Built lazily on first use (the one call that pays the full
+        O(community) profile construction) and cached until
+        :meth:`invalidate`; requires numpy.
+        """
+        if self._matrix is None:
+            from ..perf.matrix import ProfileMatrix
+
+            profiles = {agent: self.profile(agent) for agent in self.dataset.agents}
+            self._matrix = ProfileMatrix.from_profiles(profiles)
+        return self._matrix
+
     def invalidate(self, agent: str | None = None) -> None:
-        """Drop cached profiles (one agent, or all when *agent* is None)."""
+        """Drop cached profiles (one agent, or all when *agent* is None).
+
+        The packed matrix is dropped either way: its rows embed every
+        agent's profile, so any single stale row poisons it.
+        """
+        self._matrix = None
         if agent is None:
             self._cache.clear()
         else:
@@ -101,13 +126,17 @@ def _similarity_function(measure: str):
     raise ValueError(f"unknown similarity measure {measure!r}")
 
 
-def _vote(
+def _vote_scores(
     dataset: Dataset,
     weights: dict[str, float],
     exclude: set[str],
-    limit: int,
-) -> list[Recommendation]:
-    """Weighted product voting: the paper's primary §3.4 proposal."""
+) -> tuple[dict[str, float], dict[str, list[str]]]:
+    """Accumulate weighted product votes without ranking anything yet.
+
+    Split out of :func:`_vote` so filters (e.g. the content-based
+    explorer's untouched-category constraint) can narrow the candidate
+    pool *before* any ranking work happens.
+    """
     scores: dict[str, float] = {}
     supporters: dict[str, list[str]] = {}
     for peer, weight in weights.items():
@@ -118,15 +147,44 @@ def _vote(
                 continue
             scores[product] = scores.get(product, 0.0) + weight
             supporters.setdefault(product, []).append(peer)
-    ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+    return scores, supporters
+
+
+def _rank_votes(
+    scores: dict[str, float],
+    supporters: dict[str, list[str]],
+    limit: int,
+) -> list[Recommendation]:
+    """Top-*limit* recommendations from accumulated votes.
+
+    Heap selection instead of a full sort: identical output to sorting
+    by ``(-score, product)`` and truncating.
+    """
+    if limit < len(scores):
+        ranked = heapq.nsmallest(
+            limit, scores.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+    else:
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
     return [
         Recommendation(
             product=product,
             score=score,
             supporters=tuple(sorted(supporters[product])),
         )
-        for product, score in ranked[:limit]
+        for product, score in ranked
     ]
+
+
+def _vote(
+    dataset: Dataset,
+    weights: dict[str, float],
+    exclude: set[str],
+    limit: int,
+) -> list[Recommendation]:
+    """Weighted product voting: the paper's primary §3.4 proposal."""
+    scores, supporters = _vote_scores(dataset, weights, exclude)
+    return _rank_votes(scores, supporters, limit)
 
 
 class Recommender(ABC):
@@ -153,6 +211,7 @@ class SemanticWebRecommender(Recommender):
     synthesis: SynthesisStrategy = field(default_factory=LinearBlend)
     similarity_measure: str = "pearson"
     similarity_domain: Domain = "union"
+    engine: str = "auto"
 
     @classmethod
     def from_dataset(
@@ -164,6 +223,7 @@ class SemanticWebRecommender(Recommender):
         similarity_measure: str = "pearson",
         similarity_domain: Domain = "union",
         builder: TaxonomyProfileBuilder | None = None,
+        engine: str = "auto",
     ) -> "SemanticWebRecommender":
         """Assemble the recommender from a community snapshot."""
         builder = builder or TaxonomyProfileBuilder(taxonomy)
@@ -175,6 +235,7 @@ class SemanticWebRecommender(Recommender):
             synthesis=synthesis or LinearBlend(),
             similarity_measure=similarity_measure,
             similarity_domain=similarity_domain,
+            engine=engine,
         )
 
     # -- pipeline stages, exposed for inspection and experiments ------------
@@ -186,9 +247,36 @@ class SemanticWebRecommender(Recommender):
     def similarities(
         self, agent: str, peers: set[str]
     ) -> dict[str, float]:
-        """Stage 2: taxonomy-profile similarity to each peer."""
-        func = _similarity_function(self.similarity_measure)
+        """Stage 2: taxonomy-profile similarity to each peer.
+
+        With the numpy engine the peers are scored through the profile
+        store's packed community matrix in one kernel call; the python
+        engine computes dict pairs (the oracle).  Results agree to 1e-9.
+        """
+        from ..perf.engine import resolve_engine
+
         own = self.profiles.profile(agent)
+        if peers and resolve_engine(self.engine) == "numpy":
+            from ..perf.kernels import similarity_many
+
+            matrix = self.profiles.matrix()
+            peer_list = sorted(peers)
+            try:
+                rows = matrix.rows_for(peer_list)
+            except KeyError:
+                pass  # peers outside the dataset: fall through to python
+            else:
+                values = similarity_many(
+                    own,
+                    matrix,
+                    measure=self.similarity_measure,
+                    domain=self.similarity_domain,
+                    rows=rows,
+                )
+                return {
+                    peer: float(value) for peer, value in zip(peer_list, values)
+                }
+        func = _similarity_function(self.similarity_measure)
         return {
             peer: func(own, self.profiles.profile(peer), self.similarity_domain)
             for peer in peers
@@ -224,6 +312,13 @@ class PureCFRecommender(Recommender):
     representation: str = "taxonomy"
     similarity_measure: str | None = None
     neighbors: int = 20
+    engine: str = "auto"
+    _product_profiles: dict[str, Profile] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _product_matrix: "ProfileMatrix | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.representation not in ("taxonomy", "product"):
@@ -243,29 +338,80 @@ class PureCFRecommender(Recommender):
         if self.representation == "taxonomy":
             assert self.profiles is not None
             return self.profiles.profile(agent)
-        return product_profile(self.dataset.ratings_of(agent))
+        cached = self._product_profiles.get(agent)
+        if cached is None:
+            cached = product_profile(self.dataset.ratings_of(agent))
+            self._product_profiles[agent] = cached
+        return cached
+
+    def _matrix(self) -> "ProfileMatrix":
+        """The packed community matrix for the active representation."""
+        if self.representation == "taxonomy":
+            assert self.profiles is not None
+            return self.profiles.matrix()
+        if self._product_matrix is None:
+            from ..perf.matrix import ProfileMatrix
+
+            profiles = {agent: self._profile(agent) for agent in self.dataset.agents}
+            self._product_matrix = ProfileMatrix.from_profiles(profiles)
+        return self._product_matrix
+
+    def invalidate_cache(self) -> None:
+        """Drop cached product vectors and packed matrices.
+
+        Call after mutating the dataset's ratings; taxonomy-mode caches
+        live in the shared :class:`ProfileStore` (invalidate that too).
+        """
+        self._product_profiles.clear()
+        self._product_matrix = None
+
+    def _domain(self) -> Domain:
+        if self.representation == "taxonomy":
+            return "union"
+        # Union-domain cosine over implicit vectors reduces to the
+        # normalized co-rating count; Pearson keeps the classic
+        # co-rated-items convention.
+        return "union" if self.similarity_measure == "cosine" else "intersection"
 
     def peer_weights(self, agent: str) -> dict[str, float]:
-        """Top-k most similar peers with positive similarity."""
+        """Top-k most similar peers with positive similarity.
+
+        This is the all-pairs hot path: with the numpy engine the whole
+        community is scored in one kernel call against the cached
+        :class:`~repro.perf.matrix.ProfileMatrix`, with inverted-index
+        pruning of zero-overlap candidates where that is exact.
+        """
         assert self.similarity_measure is not None
-        func = _similarity_function(self.similarity_measure)
-        if self.representation == "taxonomy":
-            domain: Domain = "union"
-        else:
-            # Union-domain cosine over implicit vectors reduces to the
-            # normalized co-rating count; Pearson keeps the classic
-            # co-rated-items convention.
-            domain = "union" if self.similarity_measure == "cosine" else "intersection"
+        domain = self._domain()
         own = self._profile(agent)
-        scored = []
-        for peer in self.dataset.agents:
-            if peer == agent:
-                continue
-            value = func(own, self._profile(peer), domain)
-            if value > 0.0:
-                scored.append((peer, value))
-        scored.sort(key=lambda kv: (-kv[1], kv[0]))
-        return dict(scored[: self.neighbors])
+        from ..perf.engine import resolve_engine
+
+        if resolve_engine(self.engine) == "numpy":
+            from ..perf.engine import community_scores
+
+            matrix = self._matrix()
+            values = community_scores(
+                own, matrix, measure=self.similarity_measure, domain=domain
+            )
+            scored = [
+                (peer, float(value))
+                for peer, value in zip(matrix.ids, values)
+                if peer != agent and value > 0.0
+            ]
+        else:
+            func = _similarity_function(self.similarity_measure)
+            scored = []
+            for peer in self.dataset.agents:
+                if peer == agent:
+                    continue
+                value = func(own, self._profile(peer), domain)
+                if value > 0.0:
+                    scored.append((peer, value))
+        # Heap-select the k best instead of sorting every positive peer.
+        ranked = heapq.nsmallest(
+            self.neighbors, scored, key=lambda kv: (-kv[1], kv[0])
+        )
+        return dict(ranked)
 
     def recommend(self, agent: str, limit: int = 10) -> list[Recommendation]:
         weights = self.peer_weights(agent)
@@ -304,17 +450,20 @@ class ContentBasedExplorer(Recommender):
         weights = self.inner.peer_weights(agent)
         exclude = set(self.inner.dataset.ratings_of(agent))
         touched = set(self.inner.profiles.profile(agent))
-        candidates = _vote(self.inner.dataset, weights, exclude, limit=10**9)
-        fresh = []
-        for rec in candidates:
-            product = self.inner.dataset.products.get(rec.product)
+        # Filter to untouched-category products *before* ranking: the
+        # freshness test commutes with ranking, so this returns exactly
+        # what ranking the full catalogue and filtering afterwards would,
+        # without materializing (or sorting) the whole vote ranking.
+        scores, supporters = _vote_scores(self.inner.dataset, weights, exclude)
+        products = self.inner.dataset.products
+        fresh_scores: dict[str, float] = {}
+        for identifier, score in scores.items():
+            product = products.get(identifier)
             if product is None or not product.descriptors:
                 continue
             if product.descriptors.isdisjoint(touched):
-                fresh.append(rec)
-            if len(fresh) >= limit:
-                break
-        return fresh
+                fresh_scores[identifier] = score
+        return _rank_votes(fresh_scores, supporters, limit)
 
 
 @dataclass
@@ -356,12 +505,24 @@ class FallbackRecommender(Recommender):
         if len(items) >= limit:
             return items[:limit]
         have = {item.product for item in items}
-        for item in self.fallback.recommend(agent, limit=limit + len(have)):
-            if item.product not in have:
-                items.append(item)
-                have.add(item.product)
-            if len(items) >= limit:
-                break
+        # A single fetch of limit + len(have) can under-fill when the
+        # fallback's list overlaps `have` more than len(have) times (e.g.
+        # a merging fallback that emits duplicate products).  Re-fetch
+        # with a doubled limit until the list fills or the fallback is
+        # exhausted; deterministic fallbacks return prefix-consistent
+        # lists, so `have` dedups across fetches.
+        fetch = limit + len(have)
+        while len(items) < limit:
+            batch = self.fallback.recommend(agent, limit=fetch)
+            for item in batch:
+                if item.product not in have:
+                    items.append(item)
+                    have.add(item.product)
+                    if len(items) >= limit:
+                        break
+            if len(batch) < fetch:
+                break  # the fallback has nothing more to offer
+            fetch *= 2
         return items
 
 

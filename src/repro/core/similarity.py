@@ -18,6 +18,7 @@ conventions are supported:
 
 from __future__ import annotations
 
+import heapq
 import math
 from collections.abc import Mapping
 from typing import Literal
@@ -152,10 +153,17 @@ def top_similar(
     measure: str = "pearson",
     domain: Domain = "union",
     limit: int | None = None,
+    engine: str = "auto",
 ) -> list[tuple[str, float]]:
     """Rank *candidates* (id -> profile) by similarity to *target*.
 
-    Ties break on the candidate identifier for determinism.
+    Ties break on the candidate identifier for determinism.  *engine*
+    selects the implementation: ``"python"`` computes one dict pair at a
+    time (this module's functions), ``"numpy"`` packs the candidates
+    into a :class:`~repro.perf.matrix.ProfileMatrix` and scores them
+    with one vectorized kernel call, ``"auto"`` picks numpy for
+    large-enough candidate sets.  Both engines agree on rankings and
+    values to within 1e-9 (see ``tests/test_perf_kernels.py``).
     """
     if measure == "pearson":
         func = pearson
@@ -163,9 +171,23 @@ def top_similar(
         func = cosine
     else:
         raise ValueError(f"unknown similarity measure {measure!r}")
+    if domain not in ("union", "intersection"):
+        raise ValueError(f"unknown domain {domain!r}")
+    # Imported lazily: repro.perf.engine imports this module for oracles.
+    from ..perf.engine import resolve_engine
+
+    if resolve_engine(engine, size=len(candidates)) == "numpy":
+        from ..perf.engine import rank_profiles
+
+        return rank_profiles(
+            target, candidates, measure=measure, domain=domain, limit=limit
+        )
     scored = [
         (identifier, func(target, profile, domain))
         for identifier, profile in candidates.items()
     ]
+    if limit is not None and 0 <= limit < len(scored):
+        # Heap selection: don't sort the whole community for a top-N ask.
+        return heapq.nsmallest(limit, scored, key=lambda item: (-item[1], item[0]))
     scored.sort(key=lambda item: (-item[1], item[0]))
     return scored if limit is None else scored[:limit]

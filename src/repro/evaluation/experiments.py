@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import random
 import time
+from typing import TYPE_CHECKING
 
 from ..core.neighborhood import NeighborhoodFormation
 from ..core.profiles import (
@@ -43,6 +44,9 @@ from ..trust.scalar import multiplicative_path_trust, scalar_neighborhood
 from .attacks import inject_profile_copy_attack, inject_sybil_region
 from .metrics import mean, standard_error
 from .protocol import Table, evaluate_recommender, holdout_split
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..perf.parallel import ParallelExperimentRunner
 
 __all__ = [
     "default_community",
@@ -319,29 +323,66 @@ def run_ex04_attack_resistance(
 # ---------------------------------------------------------------------------
 
 
+def _ex05_profile_chunk(task) -> list[tuple[str, dict, dict, dict]]:
+    """Worker: all three profile representations for one agent chunk.
+
+    Module-level so :class:`~repro.perf.parallel.ParallelExperimentRunner`
+    can pickle it into worker processes.
+    """
+    dataset, taxonomy, agents = task
+    builder = TaxonomyProfileBuilder(taxonomy)
+    out = []
+    for agent in agents:
+        ratings = dataset.ratings_of(agent)
+        out.append(
+            (
+                agent,
+                builder.build(ratings, dataset.products),
+                flat_category_profile(ratings, dataset.products, known_topics=taxonomy),
+                product_profile(ratings),
+            )
+        )
+    return out
+
+
 def run_ex05_profile_overlap(
     community: SyntheticCommunity | None = None,
     n_pairs: int = 500,
     seed: int = 5,
+    runner: "ParallelExperimentRunner | None" = None,
 ) -> Table:
-    """Fraction of agent pairs with any overlap, per representation."""
+    """Fraction of agent pairs with any overlap, per representation.
+
+    *runner* parallelizes the per-agent profile builds; the merge is
+    keyed by agent identifier, so the table is identical to a serial run.
+    """
     community = community or default_community()
     dataset = community.dataset
     taxonomy = community.taxonomy
     rng = random.Random(seed)
     agents = sorted(dataset.agents)
-    builder = TaxonomyProfileBuilder(taxonomy)
 
     taxonomy_profiles = {}
     flat_profiles = {}
     product_profiles = {}
-    for agent in agents:
-        ratings = dataset.ratings_of(agent)
-        taxonomy_profiles[agent] = builder.build(ratings, dataset.products)
-        flat_profiles[agent] = flat_category_profile(
-            ratings, dataset.products, known_topics=taxonomy
-        )
-        product_profiles[agent] = product_profile(ratings)
+    if runner is None:
+        built = _ex05_profile_chunk((dataset, taxonomy, agents))
+    else:
+        from ..perf.parallel import split_evenly
+
+        chunks = split_evenly(agents, runner.effective_workers())
+        built = [
+            entry
+            for chunk_result in runner.map(
+                _ex05_profile_chunk,
+                [(dataset, taxonomy, chunk) for chunk in chunks],
+            )
+            for entry in chunk_result
+        ]
+    for agent, tax, flat, prod in built:
+        taxonomy_profiles[agent] = tax
+        flat_profiles[agent] = flat
+        product_profiles[agent] = prod
 
     pairs = []
     while len(pairs) < n_pairs:
@@ -416,8 +457,13 @@ def run_ex06_recommendation_quality(
     per_user: int = 5,
     max_users: int = 40,
     seed: int = 13,
+    runner: "ParallelExperimentRunner | None" = None,
 ) -> Table:
-    """Leave-``per_user``-out precision/recall/F1@N across methods."""
+    """Leave-``per_user``-out precision/recall/F1@N across methods.
+
+    *runner* parallelizes per-user scoring inside each method's
+    evaluation; the table is byte-identical to a serial run.
+    """
     community = community or default_community()
     split = holdout_split(
         community.dataset,
@@ -431,7 +477,9 @@ def run_ex06_recommendation_quality(
         headers=["method", "users", "precision", "recall", "F1", "hit-rate"],
     )
     for name, recommender in _build_methods(split.train, community.taxonomy):
-        report = evaluate_recommender(name, recommender, split, top_n=top_n)
+        report = evaluate_recommender(
+            name, recommender, split, top_n=top_n, runner=runner
+        )
         table.add_row(*report.as_row())
     table.add_note(
         "expected shape: personalized methods beat popularity and random; "
@@ -511,8 +559,16 @@ def run_ex08_scalability(
     sizes: tuple[int, ...] = (200, 400, 800),
     queries: int = 5,
     seed: int = 19,
+    engine: str = "python",
 ) -> Table:
-    """Wall-clock per recommendation as the community grows."""
+    """Wall-clock per recommendation as the community grows.
+
+    Pins ``engine="python"`` by default: this table measures the
+    *algorithmic* claim of §2 (global CF scales with |A|, the
+    trust-bounded pipeline with the neighborhood), so the vectorized
+    engine — which flattens the constant factor — would obscure exactly
+    the shape under test.  EX19 measures the engine speedup itself.
+    """
     table = Table(
         title="EX8 — per-recommendation latency vs community size",
         headers=["agents", "hybrid ms", "global CF ms", "ratio CF/hybrid"],
@@ -536,8 +592,9 @@ def run_ex08_scalability(
             formation=NeighborhoodFormation(
                 metric=Appleseed(max_depth=4), max_peers=30
             ),
+            engine=engine,
         )
-        cf = PureCFRecommender(dataset=dataset, profiles=store)
+        cf = PureCFRecommender(dataset=dataset, profiles=store, engine=engine)
         agents = sorted(dataset.agents)[:queries]
         for agent in agents:  # warm profile caches outside the timed region
             store.profile(agent)

@@ -1,0 +1,51 @@
+"""Performance subsystem: vectorized similarity + parallel experiment fan-out.
+
+The community-scale hot path — all-pairs profile similarity and the
+experiment sweeps over principals — phrases as numpy matrix-vector
+products and a process-pool map without changing a single numeric
+result.  See :mod:`repro.perf.matrix` (packed profiles),
+:mod:`repro.perf.kernels` (vectorized Pearson/cosine + heap top-k),
+:mod:`repro.perf.engine` (the ``engine="auto"|"numpy"|"python"``
+switch), and :mod:`repro.perf.parallel` (deterministic multi-core
+sweeps).
+
+numpy is optional at runtime: without it every switch resolves to the
+pure-Python oracle and only :class:`ParallelExperimentRunner` and the
+engine-resolution helpers remain importable from this package.
+"""
+
+from __future__ import annotations
+
+from .engine import numpy_available, resolve_engine
+from .parallel import ParallelExperimentRunner, derive_seed, split_evenly
+
+__all__ = [
+    "ParallelExperimentRunner",
+    "derive_seed",
+    "numpy_available",
+    "resolve_engine",
+    "split_evenly",
+]
+
+if numpy_available():  # pragma: no branch
+    from .engine import community_scores, rank_profiles  # noqa: F401
+    from .kernels import (  # noqa: F401
+        cosine_many,
+        pearson_many,
+        similarity_many,
+        top_k,
+        top_k_pairs,
+    )
+    from .matrix import ProfileMatrix, TopicVocabulary  # noqa: F401
+
+    __all__ += [
+        "ProfileMatrix",
+        "TopicVocabulary",
+        "community_scores",
+        "cosine_many",
+        "pearson_many",
+        "rank_profiles",
+        "similarity_many",
+        "top_k",
+        "top_k_pairs",
+    ]

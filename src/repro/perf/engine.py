@@ -1,0 +1,122 @@
+"""Engine selection for the similarity hot path.
+
+Every similarity consumer (:func:`repro.core.similarity.top_similar`,
+:class:`repro.core.recommender.PureCFRecommender`,
+:meth:`repro.core.recommender.SemanticWebRecommender.similarities`)
+takes an ``engine`` switch:
+
+* ``"python"`` — the pure-Python dict kernels of
+  :mod:`repro.core.similarity`.  Always available; the oracle the
+  vectorized path is property-tested against.
+* ``"numpy"``  — the packed-matrix kernels of :mod:`repro.perf.kernels`.
+  Raises when numpy is missing.
+* ``"auto"``   — numpy when importable (and, for one-shot rankings, when
+  the candidate set is big enough to amortize packing), else python.
+
+Both engines produce the same rankings and values to within 1e-9 —
+choosing an engine is a performance decision, never a semantic one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+__all__ = [
+    "AUTO_PACK_THRESHOLD",
+    "community_scores",
+    "numpy_available",
+    "rank_profiles",
+    "resolve_engine",
+]
+
+try:  # numpy is a declared dependency, but degrade gracefully without it
+    import numpy as np
+
+    from .kernels import similarity_many, top_k
+    from .matrix import ProfileMatrix
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _HAVE_NUMPY = False
+
+#: Below this many candidates, ``engine="auto"`` one-shot rankings stay on
+#: the python path: packing a matrix per call costs more than it saves.
+#: Recommenders with a cached community matrix ignore this threshold.
+AUTO_PACK_THRESHOLD = 32
+
+_ENGINES = ("auto", "numpy", "python")
+
+
+def numpy_available() -> bool:
+    """Whether the numpy engine can run in this interpreter."""
+    return _HAVE_NUMPY
+
+
+def resolve_engine(engine: str = "auto", size: int | None = None) -> str:
+    """Resolve an ``engine`` switch to ``"numpy"`` or ``"python"``.
+
+    *size* is the candidate-set size for one-shot calls; pass ``None``
+    when a packed matrix is (or will be) cached across calls.
+    """
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (expected one of {_ENGINES})")
+    if engine == "numpy":
+        if not _HAVE_NUMPY:
+            raise RuntimeError("engine='numpy' requested but numpy is not installed")
+        return "numpy"
+    if engine == "python" or not _HAVE_NUMPY:
+        return "python"
+    if size is not None and size < AUTO_PACK_THRESHOLD:
+        return "python"
+    return "numpy"
+
+
+def _prunable(measure: str, domain: str) -> bool:
+    """Whether zero support overlap implies similarity exactly 0.0.
+
+    True for cosine in both domains (the dot product is 0) and for
+    intersection-domain Pearson (fewer than ``MIN_INTERSECTION`` shared
+    keys).  Union-domain Pearson is *not* prunable: disjoint supports
+    genuinely anticorrelate there.
+    """
+    return not (measure == "pearson" and domain == "union")
+
+
+def community_scores(
+    target: Mapping[str, float],
+    matrix: "ProfileMatrix",
+    measure: str = "pearson",
+    domain: str = "union",
+) -> "np.ndarray":
+    """Similarity of *target* to every row, pruning where that is exact.
+
+    For prunable measure/domain combinations the inverted topic index
+    restricts kernel work to rows sharing at least one key with the
+    target; everyone else scores 0.0 by construction.
+    """
+    if _prunable(measure, domain):
+        rows = matrix.overlapping_rows(target)
+        out = np.zeros(len(matrix))
+        if len(rows):
+            out[rows] = similarity_many(
+                target, matrix, measure=measure, domain=domain, rows=rows
+            )
+        return out
+    return similarity_many(target, matrix, measure=measure, domain=domain)
+
+
+def rank_profiles(
+    target: Mapping[str, float],
+    candidates: Mapping[str, Mapping[str, float]],
+    measure: str = "pearson",
+    domain: str = "union",
+    limit: int | None = None,
+) -> list[tuple[str, float]]:
+    """One-shot numpy ranking: pack, score, heap-select.
+
+    The numpy backend of :func:`repro.core.similarity.top_similar`; the
+    candidate matrix lives only for this call.
+    """
+    matrix = ProfileMatrix.from_profiles(candidates)
+    scores = community_scores(target, matrix, measure=measure, domain=domain)
+    return top_k(matrix.ids, scores, limit)

@@ -74,11 +74,16 @@ def test_quickstart_community_parameters():
 def test_experiment_functions_are_registered_in_cli():
     """Every run_ex* function must be reachable via `repro experiment`."""
     from repro.cli import _EXPERIMENTS
-    from repro.evaluation import experiments, experiments_chaos, experiments_ext
+    from repro.evaluation import (
+        experiments,
+        experiments_chaos,
+        experiments_ext,
+        experiments_perf,
+    )
 
     defined = {
         name
-        for module in (experiments, experiments_chaos, experiments_ext)
+        for module in (experiments, experiments_chaos, experiments_ext, experiments_perf)
         for name in module.__all__
         if name.startswith("run_ex")
     }
