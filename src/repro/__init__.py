@@ -14,6 +14,9 @@ A decentralized, trust-aware, taxonomy-driven recommender framework:
   for the crawled All Consuming / Advogato / Amazon data of §4.
 * :mod:`repro.evaluation` — metrics, protocols, attack models and the
   EX1–EX11 experiment suite (see DESIGN.md / EXPERIMENTS.md).
+* :mod:`repro.analysis` — reprolint, the domain-aware static-analysis
+  pass holding the §3.1 range and determinism invariants
+  (``repro lint``; see docs/ANALYSIS.md).
 
 Quickstart::
 

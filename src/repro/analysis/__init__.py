@@ -1,0 +1,47 @@
+"""Domain-aware static analysis for the reproduction (**reprolint**).
+
+The paper's information model (§3.1) is built on partial functions with
+hard range invariants — trust ``T: A → [-1,+1]⊥`` and ratings
+``R: B → [-1,+1]⊥`` — and several subsystems (seeded fault injection,
+position-derived parallel seeds, the 1e-9 dual-engine equivalence
+contract) depend on invariants that no test can exhaustively check.
+This package enforces them at analysis time with an AST-based lint pass:
+
+* :mod:`repro.analysis.engine` — the rule registry, per-file AST visitor,
+  ``# reprolint: disable=RLxxx`` suppression handling, and JSON/human
+  output formatting.
+* :mod:`repro.analysis.rules` — the domain rules (``RL001``–``RL006``),
+  each keyed to a paper section or an inter-subsystem contract.
+
+Run it as ``repro lint <paths>`` or ``python -m repro.analysis <paths>``;
+see :mod:`docs/ANALYSIS.md <docs>` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    Finding,
+    LintEngine,
+    Rule,
+    RuleContext,
+    format_findings,
+    format_findings_json,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from .rules import DEFAULT_RULES, all_rule_codes
+
+__all__ = [
+    "DEFAULT_RULES",
+    "Finding",
+    "LintEngine",
+    "Rule",
+    "RuleContext",
+    "all_rule_codes",
+    "format_findings",
+    "format_findings_json",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,430 @@
+"""The reprolint rule catalogue (``RL001``–``RL006``).
+
+Each rule encodes one invariant of this reproduction and names the paper
+section or inter-subsystem contract it protects:
+
+========  ==============================================================
+``RL001``  unseeded randomness — module-level ``random.*`` /
+           ``np.random.*`` calls break the byte-identical
+           ``ParallelExperimentRunner`` merge contract (position-derived
+           seeds only work when *all* randomness flows through injected
+           ``random.Random`` / ``numpy`` ``Generator`` objects)
+``RL002``  float ``==`` / ``!=`` on similarity/trust/score expressions —
+           the numpy and pure-python engines agree to 1e-9, not bit-for-
+           bit; exact comparison must go through the shared tolerance
+           helper ``repro.core.similarity.isclose``
+``RL003``  silent overbroad ``except`` — a bare ``except:`` or
+           ``except Exception:`` that neither re-raises nor records to a
+           report/log object hides faults the resilience layer
+           (:mod:`repro.web.faults`) is supposed to account for
+``RL004``  mutable default argument — classic aliasing bug; a shared
+           default dict of ratings corrupts every later call
+``RL005``  unsorted set iteration — set order depends on
+           ``PYTHONHASHSEED``, so iterating a set into rankings or
+           serialized output makes EX tables nondeterministic
+``RL006``  trust/rating literal outside ``[-1, +1]`` — the paper's §3.1
+           range invariant for ``T`` and ``R``; out-of-range literals
+           raise at runtime (or worse, silently skew energy flows)
+========  ==============================================================
+
+Suppress a deliberate exception with ``# reprolint: disable=RLxxx`` on
+the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from .engine import Finding, Rule, RuleContext
+
+__all__ = [
+    "DEFAULT_RULES",
+    "FloatEqualityOnScoresRule",
+    "MutableDefaultArgRule",
+    "ScoreLiteralRangeRule",
+    "SilentOverbroadExceptRule",
+    "UnseededRandomRule",
+    "UnsortedSetIterationRule",
+    "all_rule_codes",
+]
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class UnseededRandomRule(Rule):
+    """RL001: module-level ``random.*`` / ``np.random.*`` calls.
+
+    The parallel experiment runner derives per-task seeds from submission
+    position and merges results byte-identically; any draw from the
+    module-level (globally seeded) generators escapes that contract.
+    Seeded construction — ``random.Random(seed)``,
+    ``np.random.default_rng(seed)``, ``np.random.Generator(...)`` — is
+    fine; *calling* the module-level functions, or constructing either
+    generator without a seed argument, is not.
+    """
+
+    code = "RL001"
+    summary = "unseeded randomness breaks the parallel merge contract"
+
+    _SEEDED_CONSTRUCTORS = frozenset({"Random", "SystemRandom", "default_rng", "Generator"})
+    _RANDOM_MODULES = frozenset({"random", "np.random", "numpy.random"})
+
+    def check(self, tree: ast.Module, context: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            if name is None or "." not in name:
+                continue
+            module, _, func = name.rpartition(".")
+            if module not in self._RANDOM_MODULES:
+                continue
+            if func in self._SEEDED_CONSTRUCTORS:
+                if node.args or node.keywords:
+                    continue  # explicitly seeded/parameterized construction
+                yield self.finding(
+                    node,
+                    context,
+                    f"{name}() constructed without a seed; inject a seeded "
+                    "generator instead (parallel-merge determinism)",
+                )
+                continue
+            yield self.finding(
+                node,
+                context,
+                f"module-level {name}() draws from shared global state; "
+                "use an injected seeded random.Random/np Generator",
+            )
+
+
+#: Identifier fragments that mark an expression as score-valued.
+_SCORE_NAME_RE = re.compile(
+    r"(?:^|_)(sim|similarity|score|scores|trust|rating|ratings|pearson|"
+    r"cosine|overlap|correlation|rank|weight|precision|recall|f1)(?:$|_)",
+    re.IGNORECASE,
+)
+
+#: Calls whose return value is score-valued by construction.
+_SCORE_FUNCTIONS = frozenset(
+    {
+        "pearson",
+        "cosine",
+        "profile_overlap",
+        "intra_list_similarity",
+        "validate_score",
+    }
+)
+
+
+class FloatEqualityOnScoresRule(Rule):
+    """RL002: ``==`` / ``!=`` between a score expression and a float.
+
+    The two similarity engines agree within 1e-9, not exactly, so exact
+    float comparison on similarity/trust/score values is either dead
+    (always false) or engine-dependent.  Use
+    ``repro.core.similarity.isclose`` (the single source of truth for the
+    tolerance) instead.  Integer-literal comparisons and comparisons
+    against ``None`` are untouched.
+    """
+
+    code = "RL002"
+    summary = "exact float comparison on score values; use similarity.isclose"
+
+    def _is_score_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return bool(_SCORE_NAME_RE.search(node.id))
+        if isinstance(node, ast.Attribute):
+            return bool(_SCORE_NAME_RE.search(node.attr))
+        if isinstance(node, ast.Subscript):
+            return self._is_score_expr(node.value)
+        if isinstance(node, ast.Call):
+            name = _dotted_name(node.func)
+            if name is None:
+                return False
+            return name.rpartition(".")[2] in _SCORE_FUNCTIONS or bool(
+                _SCORE_NAME_RE.search(name.rpartition(".")[2])
+            )
+        if isinstance(node, ast.BinOp):
+            return self._is_score_expr(node.left) or self._is_score_expr(node.right)
+        return False
+
+    @staticmethod
+    def _is_float_literal(node: ast.expr) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            node = node.operand
+        return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+    def check(self, tree: ast.Module, context: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            ops = node.ops
+            for index, op in enumerate(ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                score_side = self._is_score_expr(left) or self._is_score_expr(right)
+                float_side = self._is_float_literal(left) or self._is_float_literal(right)
+                if score_side and float_side:
+                    yield self.finding(
+                        node,
+                        context,
+                        "exact float comparison on a score expression; "
+                        "use repro.core.similarity.isclose (1e-9 contract)",
+                    )
+                    break  # one finding per Compare node
+
+
+#: Attribute/name fragments that count as "recording" a swallowed error.
+_RECORDING_RE = re.compile(
+    r"report|record|log|error|fault|quarantine|degrad|warn|metric|stat|counter",
+    re.IGNORECASE,
+)
+
+
+class SilentOverbroadExceptRule(Rule):
+    """RL003: bare/overbroad ``except`` that swallows silently.
+
+    ``except:``, ``except Exception:`` and ``except BaseException:`` are
+    flagged unless the handler re-raises or visibly records the failure
+    (touches a name/attribute matching report/record/log/error/fault/…).
+    The resilience layer's accounting (CrawlReport, breaker statistics)
+    only works if no path eats faults invisibly.
+    """
+
+    code = "RL003"
+    summary = "overbroad except neither re-raises nor records the failure"
+
+    _OVERBROAD = frozenset({"Exception", "BaseException"})
+
+    def _is_overbroad(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        name = _dotted_name(handler.type)
+        return name is not None and name.rpartition(".")[2] in self._OVERBROAD
+
+    def _handler_accounts(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Name) and _RECORDING_RE.search(node.id):
+                return True
+            if isinstance(node, ast.Attribute) and _RECORDING_RE.search(node.attr):
+                return True
+        return False
+
+    def check(self, tree: ast.Module, context: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if self._is_overbroad(node) and not self._handler_accounts(node):
+                label = (
+                    "bare except"
+                    if node.type is None
+                    else f"except {_dotted_name(node.type)}"
+                )
+                yield self.finding(
+                    node,
+                    context,
+                    f"{label} swallows errors without re-raising or "
+                    "recording to a report object",
+                )
+
+
+class MutableDefaultArgRule(Rule):
+    """RL004: ``def f(x=[])`` / ``={}`` / ``=set()`` / ``=dict()`` / ``=list()``."""
+
+    code = "RL004"
+    summary = "mutable default argument is shared across calls"
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "Counter"})
+
+    def _is_mutable_default(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call):
+            name = _dotted_name(node.func)
+            return (
+                name is not None
+                and name.rpartition(".")[2] in self._MUTABLE_CALLS
+            )
+        return False
+
+    def check(self, tree: ast.Module, context: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = [
+                *node.args.defaults,
+                *[d for d in node.args.kw_defaults if d is not None],
+            ]
+            for default in defaults:
+                if self._is_mutable_default(default):
+                    yield self.finding(
+                        default,
+                        context,
+                        f"mutable default argument in {node.name}(); "
+                        "use None and construct inside the function",
+                    )
+
+
+class UnsortedSetIterationRule(Rule):
+    """RL005: iterating a set without ``sorted()`` feeds nondeterminism.
+
+    String-set iteration order depends on ``PYTHONHASHSEED``, so a set
+    flowing into a ranking, a serialized table, or a joined string makes
+    EX tables differ across runs.  Flagged sites: ``for x in {…}`` /
+    ``set(...)`` / set comprehensions / set-algebra on ``.keys()`` views,
+    the same expressions inside comprehensions, and ``list()`` /
+    ``tuple()`` / ``enumerate()`` / ``str.join()`` over them.  Wrapping
+    the expression in ``sorted(...)`` — or aggregating with ``len`` /
+    ``sum`` / ``min`` / ``max`` / ``any`` / ``all`` / ``frozenset`` —
+    is order-insensitive and therefore fine.
+    """
+
+    code = "RL005"
+    summary = "unsorted set iteration yields nondeterministic order"
+
+    _SET_CALLS = frozenset({"set", "frozenset"})
+    _ORDERING_SINKS = frozenset({"list", "tuple", "enumerate", "iter"})
+    _SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+    def _is_keys_view(self, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "keys"
+            and not node.args
+        )
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = _dotted_name(node.func)
+            return name is not None and name.rpartition(".")[2] in self._SET_CALLS
+        if isinstance(node, ast.BinOp) and isinstance(node.op, self._SET_BINOPS):
+            # set algebra over keys views or other set expressions
+            sides = (node.left, node.right)
+            return any(
+                self._is_keys_view(side) or self._is_set_expr(side)
+                for side in sides
+            )
+        return False
+
+    def check(self, tree: ast.Module, context: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                name = _dotted_name(node.func)
+                if name is not None and name.rpartition(".")[2] in self._ORDERING_SINKS:
+                    iters.extend(node.args[:1])
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and node.args
+                ):
+                    iters.append(node.args[0])
+            for candidate in iters:
+                if self._is_set_expr(candidate):
+                    yield self.finding(
+                        candidate,
+                        context,
+                        "iteration over an unsorted set; wrap in sorted() "
+                        "to keep rankings/serialized output deterministic",
+                    )
+
+
+#: Keyword names whose literal values must respect the §3.1 score range.
+_SCORE_KEYWORDS = frozenset({"value", "trust", "rating", "score"})
+
+#: Constructors/validators whose numeric literal arguments are scores.
+_SCORE_CALLABLES = frozenset({"TrustStatement", "Rating", "validate_score"})
+
+
+class ScoreLiteralRangeRule(Rule):
+    """RL006: trust/rating literal outside the paper's ``[-1, +1]`` scale.
+
+    Flags numeric literals outside ``[-1, +1]`` when they appear as the
+    score argument of :class:`~repro.core.models.TrustStatement`,
+    :class:`~repro.core.models.Rating`, or
+    :func:`~repro.core.models.validate_score` — or as any keyword named
+    ``value=`` / ``trust=`` / ``rating=`` / ``score=``.  These raise
+    :class:`ValueError` at runtime at best; caught earlier, they never
+    reach an energy-flow computation.
+    """
+
+    code = "RL006"
+    summary = "trust/rating literal outside the §3.1 [-1, +1] range"
+
+    @staticmethod
+    def _literal_value(node: ast.expr) -> float | None:
+        sign = 1.0
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            sign = -1.0 if isinstance(node.op, ast.USub) else 1.0
+            node = node.operand
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            if isinstance(node.value, bool):
+                return None
+            return sign * float(node.value)
+        return None
+
+    def check(self, tree: ast.Module, context: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            short = name.rpartition(".")[2] if name else ""
+            candidates: list[tuple[ast.expr, str]] = []
+            if short in _SCORE_CALLABLES:
+                # TrustStatement(source, target, value) / Rating(agent,
+                # product, value) / validate_score(value, kind): the score
+                # is the last non-string positional argument.
+                for arg in node.args:
+                    candidates.append((arg, f"argument of {short}()"))
+            for keyword in node.keywords:
+                if keyword.arg in _SCORE_KEYWORDS:
+                    candidates.append(
+                        (keyword.value, f"keyword {keyword.arg}=")
+                    )
+            for expr, where in candidates:
+                value = self._literal_value(expr)
+                if value is not None and not -1.0 <= value <= 1.0:
+                    yield self.finding(
+                        expr,
+                        context,
+                        f"score literal {value:g} as {where} lies outside "
+                        "the paper's [-1, +1] trust/rating scale (§3.1)",
+                    )
+
+
+DEFAULT_RULES: tuple[Rule, ...] = (
+    UnseededRandomRule(),
+    FloatEqualityOnScoresRule(),
+    SilentOverbroadExceptRule(),
+    MutableDefaultArgRule(),
+    UnsortedSetIterationRule(),
+    ScoreLiteralRangeRule(),
+)
+
+
+def all_rule_codes() -> tuple[str, ...]:
+    """Stable tuple of every registered rule code."""
+    return tuple(rule.code for rule in DEFAULT_RULES)

@@ -12,6 +12,9 @@ Installed as the ``repro`` console script.  Subcommands:
 * ``repro crawl``      — chaos crawl: replicate a community under injected
   faults (``--fault-rate/--fault-seed/--retries`` …) and report
   retry/breaker/degradation statistics
+* ``repro lint``       — reprolint, the domain-aware static-analysis pass
+  (score ranges, seeded randomness, tolerance comparisons; see
+  ``docs/ANALYSIS.md``)
 
 Every command works off the JSONL snapshot format of
 :mod:`repro.datasets.io`, so pipelines compose through files::
@@ -158,6 +161,18 @@ def _build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--split-channels", action="store_true",
                        help="publish trust on homepages, ratings on weblogs")
     _add_fault_arguments(crawl)
+
+    lint = sub.add_parser(
+        "lint",
+        help="reprolint: domain-aware static analysis (RL001..RL006)",
+    )
+    lint.add_argument("paths", nargs="+",
+                      help="files or directories to lint")
+    lint.add_argument("--format", choices=["human", "json"], default="human")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="comma-separated rule codes to run (default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
 
     return parser
 
@@ -438,6 +453,13 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the reprolint static-analysis pass (see repro.analysis)."""
+    from .analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -449,6 +471,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "demo": _cmd_demo,
         "crawl": _cmd_crawl,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

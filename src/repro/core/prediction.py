@@ -15,7 +15,7 @@ predictors that differ only in where their weights come from.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
 from .models import Dataset
@@ -23,7 +23,7 @@ from .models import Dataset
 __all__ = ["RatingPredictor", "predict_rating"]
 
 
-def _mean(values) -> float:
+def _mean(values: Iterable[float]) -> float:
     values = list(values)
     return sum(values) / len(values) if values else 0.0
 

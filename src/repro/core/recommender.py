@@ -31,6 +31,7 @@ from __future__ import annotations
 import heapq
 import random
 from abc import ABC, abstractmethod
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -118,7 +119,9 @@ class ProfileStore:
             self._cache.pop(agent, None)
 
 
-def _similarity_function(measure: str):
+def _similarity_function(
+    measure: str,
+) -> Callable[[Mapping[str, float], Mapping[str, float], Domain], float]:
     if measure == "pearson":
         return pearson
     if measure == "cosine":

@@ -24,7 +24,9 @@ from collections.abc import Mapping
 from typing import Literal
 
 __all__ = [
+    "SCORE_TOLERANCE",
     "cosine",
+    "isclose",
     "overlap_keys",
     "pearson",
     "profile_overlap",
@@ -32,6 +34,24 @@ __all__ = [
 ]
 
 Domain = Literal["union", "intersection"]
+
+#: The engine-equivalence tolerance: the numpy kernels reproduce this
+#: module's results within this absolute bound (see
+#: :mod:`repro.perf.kernels`).  Every comparison of similarity/trust/
+#: score values anywhere in the reproduction should go through
+#: :func:`isclose` with this default rather than a float ``==``.
+SCORE_TOLERANCE = 1e-9
+
+
+def isclose(left: float, right: float, *, tol: float = SCORE_TOLERANCE) -> bool:
+    """Whether two score values agree within the engine contract.
+
+    The single source of truth for the 1e-9 dual-engine equivalence
+    bound: absolute tolerance, so values near 0.0 (the "no evidence"
+    convention) compare sanely, and NaN never equals anything — a NaN
+    score is a bug upstream, not a value to match.
+    """
+    return abs(left - right) <= tol
 
 #: Pairs with fewer co-rated coordinates than this yield similarity 0 in
 #: intersection mode — a single shared coordinate makes Pearson degenerate.
@@ -41,10 +61,13 @@ MIN_INTERSECTION = 2
 def _domain_keys(
     left: Mapping[str, float], right: Mapping[str, float], domain: Domain
 ) -> list[str]:
+    # sorted(): set-algebra order depends on PYTHONHASHSEED, and float
+    # summation order shifts the low bits — enough to break byte-identical
+    # parallel merges across processes.
     if domain == "union":
-        return list(left.keys() | right.keys())
+        return sorted(left.keys() | right.keys())
     if domain == "intersection":
-        return list(left.keys() & right.keys())
+        return sorted(left.keys() & right.keys())
     raise ValueError(f"unknown domain {domain!r}")
 
 

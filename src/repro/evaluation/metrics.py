@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable, Mapping, Sequence
 
+from ..core.similarity import isclose
+
 __all__ = [
     "catalog_coverage",
     "f1_score",
@@ -45,7 +47,7 @@ def recall_at(recommended: Sequence[str], relevant: set[str]) -> float:
 
 def f1_score(precision: float, recall: float) -> float:
     """Harmonic mean of precision and recall (0.0 when both are 0)."""
-    if precision + recall == 0.0:
+    if isclose(precision + recall, 0.0):
         return 0.0
     return 2.0 * precision * recall / (precision + recall)
 

@@ -63,7 +63,9 @@ def _target_stats(
     return values, mask, support, total, sumsq
 
 
-def _select(matrix: ProfileMatrix, rows: np.ndarray | None, squared: bool = False):
+def _select(
+    matrix: ProfileMatrix, rows: np.ndarray | None, squared: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
     """Row-sliced views of the matrix arrays the kernels consume."""
     dense = matrix.dense_sq if squared else matrix.dense
     mask = matrix.mask

@@ -32,6 +32,7 @@ import re
 from dataclasses import dataclass, field
 
 from ..core.models import Dataset, Rating
+from ..core.similarity import isclose
 
 __all__ = [
     "LinkMiner",
@@ -177,8 +178,8 @@ def publish_weblogs(web, dataset: Dataset, posts_per_log: int = 3) -> list[str]:
     uris: list[str] = []
     for agent_uri in sorted(dataset.agents):
         ratings = dataset.ratings_of(agent_uri)
-        implicit = [p for p, v in sorted(ratings.items()) if v == 1.0]
-        explicit = {p: v for p, v in ratings.items() if v != 1.0}
+        implicit = [p for p, v in sorted(ratings.items()) if isclose(v, 1.0)]
+        explicit = {p: v for p, v in ratings.items() if not isclose(v, 1.0)}
         posts: list[WeblogPost] = []
         chunk = max(1, (len(implicit) + posts_per_log - 1) // posts_per_log)
         for index in range(0, len(implicit), chunk):

@@ -9,6 +9,7 @@ from repro.core.diversify import (
     intra_list_similarity,
     product_topic_profile,
 )
+from repro.core.similarity import isclose
 from repro.core.models import Product
 from repro.core.recommender import Recommendation
 from repro.core.taxonomy import figure1_fragment
@@ -49,8 +50,8 @@ class TestProductTopicProfile:
 
 class TestIntraListSimilarity:
     def test_short_lists(self):
-        assert intra_list_similarity([], {}) == 0.0
-        assert intra_list_similarity(["a"], {"a": {"t": 1.0}}) == 0.0
+        assert isclose(intra_list_similarity([], {}), 0.0)
+        assert isclose(intra_list_similarity(["a"], {"a": {"t": 1.0}}), 0.0)
 
     def test_identical_items_max(self, figure1):
         profiles = {

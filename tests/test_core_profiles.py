@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.core.similarity import isclose
 from repro.core.models import Product
 from repro.core.profiles import (
     DEFAULT_PROFILE_SCORE,
@@ -22,7 +23,7 @@ class TestExample1:
 
     def test_descriptor_budget(self):
         # s=1000, 4 books, Matrix Analysis has 5 descriptors -> 50 each.
-        assert DEFAULT_PROFILE_SCORE / (4 * 5) == 50.0
+        assert isclose(DEFAULT_PROFILE_SCORE / (4 * 5), 50.0)
 
     def test_exact_scores(self, figure1):
         scores = descriptor_score_path(figure1, "Algebra", 50.0)

@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 
 from repro.core.similarity import (
     cosine,
+    isclose,
     overlap_keys,
     pearson,
     profile_overlap,
@@ -39,13 +40,13 @@ class TestPearson:
         assert pearson(left, right) == pytest.approx(1.0)
 
     def test_empty_inputs(self):
-        assert pearson({}, {}) == 0.0
-        assert pearson({"a": 1.0}, {}) == 0.0
+        assert isclose(pearson({}, {}), 0.0)
+        assert isclose(pearson({"a": 1.0}, {}), 0.0)
 
     def test_constant_vector_degenerate(self):
         left = {"a": 1.0, "b": 1.0}
         right = {"a": 0.5, "b": 0.7}
-        assert pearson(left, right) == 0.0
+        assert isclose(pearson(left, right), 0.0)
 
     def test_union_includes_missing_as_zero(self):
         left = {"a": 1.0, "b": 1.0}
@@ -56,7 +57,7 @@ class TestPearson:
     def test_intersection_requires_two_shared(self):
         left = {"a": 1.0, "b": 2.0}
         right = {"a": 1.0, "c": 5.0}
-        assert pearson(left, right, domain="intersection") == 0.0
+        assert isclose(pearson(left, right, domain="intersection"), 0.0)
 
     def test_intersection_computes_over_shared_only(self):
         left = {"a": 1.0, "b": 2.0, "c": 3.0, "x": 99.0}
@@ -81,16 +82,16 @@ class TestCosine:
         assert cosine(left, right) == pytest.approx(1.0)
 
     def test_orthogonal(self):
-        assert cosine({"a": 1.0}, {"b": 1.0}) == 0.0
+        assert isclose(cosine({"a": 1.0}, {"b": 1.0}), 0.0)
 
     def test_opposite(self):
         assert cosine({"a": 1.0}, {"a": -1.0}) == pytest.approx(-1.0)
 
     def test_empty(self):
-        assert cosine({}, {"a": 1.0}) == 0.0
+        assert isclose(cosine({}, {"a": 1.0}), 0.0)
 
     def test_zero_norm(self):
-        assert cosine({"a": 0.0}, {"a": 1.0}) == 0.0
+        assert isclose(cosine({"a": 0.0}, {"a": 1.0}), 0.0)
 
     def test_known_value(self):
         left = {"a": 1.0, "b": 1.0}
@@ -126,12 +127,12 @@ class TestOverlap:
         assert profile_overlap(left, right) == pytest.approx(1 / 3)
 
     def test_profile_overlap_empty(self):
-        assert profile_overlap({}, {}) == 0.0
-        assert profile_overlap({"a": 1.0}, {}) == 0.0
+        assert isclose(profile_overlap({}, {}), 0.0)
+        assert isclose(profile_overlap({"a": 1.0}, {}), 0.0)
 
     def test_profile_overlap_identical(self):
         v = {"a": 1.0, "b": 2.0}
-        assert profile_overlap(v, v) == 1.0
+        assert isclose(profile_overlap(v, v), 1.0)
 
 
 class TestTopSimilar:

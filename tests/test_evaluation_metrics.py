@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.core.similarity import isclose
 from repro.evaluation.metrics import (
     catalog_coverage,
     f1_score,
@@ -23,25 +24,25 @@ from repro.evaluation.metrics import (
 
 class TestTopNMetrics:
     def test_precision(self):
-        assert precision_at(["a", "b", "c", "d"], {"a", "c"}) == 0.5
+        assert isclose(precision_at(["a", "b", "c", "d"], {"a", "c"}), 0.5)
 
     def test_precision_empty_recs(self):
-        assert precision_at([], {"a"}) == 0.0
+        assert isclose(precision_at([], {"a"}), 0.0)
 
     def test_recall(self):
-        assert recall_at(["a", "b"], {"a", "c", "d", "e"}) == 0.25
+        assert isclose(recall_at(["a", "b"], {"a", "c", "d", "e"}), 0.25)
 
     def test_recall_empty_relevant(self):
-        assert recall_at(["a"], set()) == 0.0
+        assert isclose(recall_at(["a"], set()), 0.0)
 
     def test_perfect_scores(self):
-        assert precision_at(["a", "b"], {"a", "b"}) == 1.0
-        assert recall_at(["a", "b"], {"a", "b"}) == 1.0
+        assert isclose(precision_at(["a", "b"], {"a", "b"}), 1.0)
+        assert isclose(recall_at(["a", "b"], {"a", "b"}), 1.0)
 
     def test_f1(self):
-        assert f1_score(0.5, 0.5) == 0.5
-        assert f1_score(1.0, 0.0) == 0.0
-        assert f1_score(0.0, 0.0) == 0.0
+        assert isclose(f1_score(0.5, 0.5), 0.5)
+        assert isclose(f1_score(1.0, 0.0), 0.0)
+        assert isclose(f1_score(0.0, 0.0), 0.0)
         assert f1_score(0.25, 0.75) == pytest.approx(0.375)
 
     def test_hit_rate(self):

@@ -6,6 +6,7 @@ import random
 
 import pytest
 
+from repro.core.similarity import isclose
 from repro.evaluation.significance import (
     bootstrap_confidence_interval,
     compare_recommenders,
@@ -16,7 +17,7 @@ from repro.evaluation.significance import (
 class TestPermutationTest:
     def test_identical_sequences_not_significant(self):
         values = [0.1, 0.2, 0.3, 0.4]
-        assert paired_permutation_test(values, values) == 1.0
+        assert isclose(paired_permutation_test(values, values), 1.0)
 
     def test_large_consistent_difference_significant(self):
         rng = random.Random(1)
@@ -50,7 +51,7 @@ class TestPermutationTest:
             paired_permutation_test([1.0], [1.0, 2.0])
 
     def test_empty(self):
-        assert paired_permutation_test([], []) == 1.0
+        assert isclose(paired_permutation_test([], []), 1.0)
 
     def test_invalid_rounds(self):
         with pytest.raises(ValueError):
@@ -118,6 +119,6 @@ class TestCompareRecommenders:
         )
         method = PopularityRecommender(dataset=split.train)
         result = compare_recommenders(method, method, split, rounds=500, seed=15)
-        assert result.mean_difference == 0.0
-        assert result.p_value == 1.0
+        assert isclose(result.mean_difference, 0.0)
+        assert isclose(result.p_value, 1.0)
         assert not result.significant

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.similarity import isclose
 from repro.datasets.amazon import book_taxonomy_config
 from repro.datasets.generators import CommunityConfig, generate_community
 from repro.evaluation.experiments import (
@@ -135,7 +136,7 @@ class TestEx07:
         pure_cf = float(row[2])
         assert hybrid < pure_cf
         assert pure_cf > 0.0  # the attack works against trust-blind CF
-        assert hybrid == 0.0  # and is fully blocked by trust filtering
+        assert isclose(hybrid, 0.0)  # and is fully blocked by trust filtering
 
 
 class TestEx08:

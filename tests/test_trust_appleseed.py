@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.similarity import isclose
 from repro.trust.appleseed import Appleseed
 from repro.trust.graph import TrustGraph
 
@@ -107,7 +108,7 @@ class TestBasicBehavior:
         )
         result = Appleseed().compute(graph, "a")
         assert "m" not in result.neighborhood(0.0)
-        assert result.ranks.get("deep", 0.0) == 0.0 or "deep" not in result.ranks
+        assert isclose(result.ranks.get("deep", 0.0), 0.0) or "deep" not in result.ranks
 
     def test_max_iterations_cap(self):
         metric = Appleseed(max_iterations=3, convergence_threshold=1e-12)
@@ -222,7 +223,7 @@ class TestDistrust:
             [("s", "a", 1.0), ("s", "m", 0.1), ("a", "m", -1.0)]
         )
         ranks = Appleseed(distrust_mode="one_step").compute(graph, "s").ranks
-        assert ranks["m"] == 0.0
+        assert isclose(ranks["m"], 0.0)
 
 
 @settings(deadline=None, max_examples=30)

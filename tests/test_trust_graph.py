@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.similarity import isclose
 from repro.trust.graph import TrustGraph
 
 
@@ -44,7 +45,7 @@ class TestConstruction:
         graph = TrustGraph()
         graph.add_edge("a", "b", 0.5)
         graph.add_edge("a", "b", 0.9)
-        assert graph.weight("a", "b") == 0.9
+        assert isclose(graph.weight("a", "b"), 0.9)
         assert graph.edge_count() == 1
 
     def test_remove_edge(self):
@@ -61,7 +62,7 @@ class TestConstruction:
         assert graph.edge_count() == 5
         alice = "http://example.org/alice"
         bob = "http://example.org/bob"
-        assert graph.weight(alice, bob) == 0.8
+        assert isclose(graph.weight(alice, bob), 0.8)
 
 
 class TestAccessors:
@@ -108,7 +109,7 @@ class TestTraversal:
         horizon = simple_graph().within_horizon("a", max_depth=1)
         assert set(horizon.nodes()) == {"a", "b", "c"}
         # internal edges between discovered nodes are retained
-        assert horizon.weight("b", "c") == 0.8
+        assert isclose(horizon.weight("b", "c"), 0.8)
         assert horizon.weight("c", "d") is None
 
     def test_within_horizon_keeps_internal_distrust(self):
@@ -116,7 +117,7 @@ class TestTraversal:
             [("a", "b", 0.9), ("a", "c", 0.9), ("b", "c", -0.5)]
         )
         horizon = graph.within_horizon("a", max_depth=1)
-        assert horizon.weight("b", "c") == -0.5
+        assert isclose(horizon.weight("b", "c"), -0.5)
 
     def test_within_horizon_zero_depth(self):
         horizon = simple_graph().within_horizon("a", max_depth=0)
