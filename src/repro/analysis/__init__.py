@@ -13,14 +13,33 @@ This package enforces them at analysis time with an AST-based lint pass:
 * :mod:`repro.analysis.rules` — the domain rules (``RL001``–``RL006``),
   each keyed to a paper section or an inter-subsystem contract.
 
+On top of the per-file pass sits **reprograph**, the whole-program
+layer (``RL100``–``RL104``):
+
+* :mod:`repro.analysis.symbols` — module names, import records, name
+  bindings, functions and classified globals for every linted file.
+* :mod:`repro.analysis.graph` — the module import graph, dead-module
+  (``RL103``) and import-cycle (``RL104``) rules.
+* :mod:`repro.analysis.contracts` — the declarative layering contract
+  (``core`` imports nothing internal, ``trust``/``perf``/``semweb`` sit
+  on ``core``, ...) enforced as ``RL100``.
+* :mod:`repro.analysis.dataflow` — the §3.2/§4 taint pass (untrusted
+  web content must pass ``validate_score``/``clamp_score`` before any
+  scoring sink, ``RL101``) and process-pool fork-safety (``RL102``).
+* :mod:`repro.analysis.sarif` — SARIF 2.1.0 output for CI code scanning.
+* :mod:`repro.analysis.baseline` — committed baselines so new findings
+  fail CI while tracked legacy debt does not.
+
 Run it as ``repro lint <paths>`` or ``python -m repro.analysis <paths>``;
 see :mod:`docs/ANALYSIS.md <docs>` for the rule catalogue.
 """
 
 from __future__ import annotations
 
+from .baseline import Baseline, BaselineEntry, BaselineResult
 from .engine import (
     Finding,
+    GraphRule,
     LintEngine,
     Rule,
     RuleContext,
@@ -28,20 +47,32 @@ from .engine import (
     format_findings_json,
     lint_file,
     lint_paths,
+    lint_project,
     lint_source,
 )
-from .rules import DEFAULT_RULES, all_rule_codes
+from .rules import DEFAULT_GRAPH_RULES, DEFAULT_RULES, all_rule_codes
+from .sarif import findings_to_sarif, format_findings_sarif
+from .symbols import ProjectIndex
 
 __all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineResult",
+    "DEFAULT_GRAPH_RULES",
     "DEFAULT_RULES",
     "Finding",
+    "GraphRule",
     "LintEngine",
+    "ProjectIndex",
     "Rule",
     "RuleContext",
     "all_rule_codes",
+    "findings_to_sarif",
     "format_findings",
     "format_findings_json",
+    "format_findings_sarif",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
 ]

@@ -1,0 +1,166 @@
+"""Finding baselines: ratchet CI without rewriting history first.
+
+A baseline is a committed JSON file listing the findings a repository
+has *accepted as legacy debt*.  With ``repro lint --baseline FILE``:
+
+* a finding matching a baseline entry is **suppressed** (it is tracked
+  debt, not a regression);
+* a finding with no matching entry is **new** and fails the run;
+* a baseline entry that no longer matches any finding is **stale** and
+  also fails the run — the debt was paid, so the entry must be deleted
+  (``--write-baseline`` regenerates the file).  This is the "expire"
+  half of the add/expire workflow: baselines only ever shrink unless a
+  human deliberately regenerates them.
+
+Entries are matched by *fingerprint*: ``(path, code, stripped source
+line text)``.  Using the line's text instead of its number keeps the
+baseline stable across unrelated edits that shift line numbers, while
+still expiring the entry when the offending line itself changes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from .engine import Finding
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineResult",
+    "fingerprint",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _line_text(path: str, line: int, cache: dict[str, tuple[str, ...]]) -> str:
+    """Stripped text of ``path:line``, or ``""`` when unreadable."""
+    if path not in cache:
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError:
+            cache[path] = ()
+        else:
+            cache[path] = tuple(text.splitlines())
+    lines = cache[path]
+    if 1 <= line <= len(lines):
+        return lines[line - 1].strip()
+    return ""
+
+
+def fingerprint(
+    finding: Finding, cache: dict[str, tuple[str, ...]]
+) -> tuple[str, str, str]:
+    """``(path, code, stripped line text)`` — survives line drift."""
+    return (
+        finding.path.replace("\\", "/"),
+        finding.code,
+        _line_text(finding.path, finding.line, cache),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    """One accepted legacy finding."""
+
+    path: str
+    code: str
+    text: str  #: stripped source line the finding anchors to
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.path, self.code, self.text)
+
+
+@dataclass(slots=True)
+class BaselineResult:
+    """Outcome of applying a baseline to a finding list."""
+
+    new: list[Finding]  #: findings not covered by the baseline — fail CI
+    suppressed: list[Finding]  #: tracked legacy findings — reported, pass
+    stale: list[BaselineEntry]  #: entries nothing matched — must be removed
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.stale
+
+
+class Baseline:
+    """A set of accepted findings, loadable from / writable to JSON."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        file_path = Path(path)
+        if not file_path.exists():
+            return cls()
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {file_path} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                path=str(entry["path"]),
+                code=str(entry["code"]),
+                text=str(entry["text"]),
+            )
+            for entry in payload.get("entries", [])
+        ]
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """A baseline accepting exactly the given findings."""
+        cache: dict[str, tuple[str, ...]] = {}
+        seen: set[tuple[str, str, str]] = set()
+        entries: list[BaselineEntry] = []
+        for finding in findings:
+            path, code, text = fingerprint(finding, cache)
+            key = (path, code, text)
+            if key in seen:
+                continue
+            seen.add(key)
+            entries.append(BaselineEntry(path=path, code=code, text=text))
+        entries.sort(key=lambda e: e.key)
+        return cls(entries)
+
+    def apply(self, findings: Sequence[Finding]) -> BaselineResult:
+        """Split findings into new vs. suppressed; detect stale entries."""
+        cache: dict[str, tuple[str, ...]] = {}
+        matched: set[tuple[str, str, str]] = set()
+        known = {entry.key for entry in self.entries}
+        new: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding in findings:
+            key = fingerprint(finding, cache)
+            if key in known:
+                matched.add(key)
+                suppressed.append(finding)
+            else:
+                new.append(finding)
+        stale = [entry for entry in self.entries if entry.key not in matched]
+        return BaselineResult(new=new, suppressed=suppressed, stale=stale)
+
+    def dump(self) -> str:
+        """The baseline as stable, committable JSON."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {"path": e.path, "code": e.code, "text": e.text}
+                for e in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_text(self.dump(), encoding="utf-8")

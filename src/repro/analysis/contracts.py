@@ -1,0 +1,184 @@
+"""Declarative architecture contracts over the package layering (RL100).
+
+The reproduction's packages form a layered architecture that mirrors the
+paper's system picture: the §3.1 information model and the §3.2–§3.4
+pipeline mathematics sit at the bottom (``repro.core``), the trust
+metrics and vectorized engines build directly on it, the Semantic Web
+substrate and the simulated Web ingest *into* it, and evaluation /
+orchestration sit on top::
+
+            cli / agent / repro (root)          ── orchestration
+                      │
+                 evaluation                      ── experiments
+            ┌────┬────┴────┬─────────┐
+          trust perf   datasets     web          ── subsystems
+            │    │        │        ┌─┴─┐
+            │    │        │      semweb│
+            └────┴────┬───┴────────┴───┘
+                    core                         ── §3.1 model + pipeline
+                  (analysis: self-contained)
+
+A contract names, for each layer, the set of *internal* layers it may
+import at module scope.  Violations are RL100 findings anchored at the
+offending import.  Two refinements keep the contract honest instead of
+aspirational:
+
+* ``TYPE_CHECKING`` imports are always allowed — they cost nothing at
+  runtime and exist precisely to type cross-layer seams;
+* a small set of **lazy-allowed** edges names the deliberate inversions:
+  ``core`` resolves its optional numpy engine out of ``perf`` at call
+  time (``engine="auto"``), which is a plugin lookup, not a layering
+  dependency.  Any *other* lazy import across a forbidden edge is still
+  a violation — deferring an import does not change the architecture.
+
+Known legacy violations (``core.neighborhood``/``core.recommender``
+importing ``repro.trust`` at module scope) are deliberately *not*
+exempted here; they live in the committed reprolint baseline
+(``.reprolint-baseline.json``) as tracked debt, so any new edge of the
+same shape fails CI while the old ones await the planned inversion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from .engine import Finding, GraphRule
+from .graph import ROOT_PACKAGE
+from .symbols import SCOPE_LAZY, SCOPE_TYPE_CHECKING, ProjectIndex
+
+__all__ = [
+    "ArchitectureContractRule",
+    "DEFAULT_CONTRACT",
+    "LayerContract",
+    "layer_of",
+]
+
+#: Every layer below the orchestration tier, for the layers allowed to
+#: import anything.
+_SUBSYSTEMS = frozenset(
+    {"core", "trust", "perf", "semweb", "web", "datasets", "evaluation", "analysis"}
+)
+
+
+@dataclass(frozen=True)
+class LayerContract:
+    """Allowed internal imports per layer of one root package.
+
+    ``allowed`` maps layer → the internal layers it may import at module
+    scope (its own layer is always allowed).  ``lazy_allowed`` lists
+    ``(importer_layer, target_layer)`` edges additionally permitted for
+    function-scoped imports, each one a documented inversion.
+    ``top_layers`` may import every internal layer.
+    """
+
+    package: str = ROOT_PACKAGE
+    allowed: dict[str, frozenset[str]] = field(
+        default_factory=lambda: {
+            # The §3.1 information model and pipeline math: no internal deps.
+            "core": frozenset(),
+            # Trust metrics operate on core's models and score contract.
+            "trust": frozenset({"core"}),
+            # The vectorized engines reproduce core's numeric conventions.
+            "perf": frozenset({"core"}),
+            # RDF/FOAF documents serialize core models.
+            "semweb": frozenset({"core"}),
+            # The simulated Web ingests documents into core models.
+            "web": frozenset({"core", "semweb"}),
+            # Synthetic stand-ins for the crawled §4 datasets.
+            "datasets": frozenset({"core"}),
+            # reprolint/reprograph: self-contained, imports nothing internal.
+            "analysis": frozenset(),
+            # Experiments drive every subsystem.
+            "evaluation": _SUBSYSTEMS - {"evaluation", "analysis"},
+        }
+    )
+    lazy_allowed: frozenset[tuple[str, str]] = frozenset(
+        {
+            # engine="auto" resolution: core looks its optional numpy
+            # accelerator up at call time; perf imports core, not vice
+            # versa, for everything that matters at import time.
+            ("core", "perf"),
+        }
+    )
+    top_layers: frozenset[str] = frozenset({"cli", "agent", ""})
+
+    def permits(self, importer_layer: str, target_layer: str, scope: str) -> bool:
+        """Whether the contract allows this edge at this scope."""
+        if importer_layer == target_layer:
+            return True
+        if importer_layer in self.top_layers:
+            return True
+        if scope == SCOPE_TYPE_CHECKING:
+            return True
+        if target_layer in self.allowed.get(importer_layer, frozenset()):
+            return True
+        if scope == SCOPE_LAZY and (importer_layer, target_layer) in self.lazy_allowed:
+            return True
+        return False
+
+
+def layer_of(module: str, package: str = ROOT_PACKAGE) -> str | None:
+    """The layer a module belongs to, or ``None`` for external modules.
+
+    ``repro.web.crawler`` → ``web``; ``repro.cli`` → ``cli``; the package
+    root ``repro`` itself → ``""`` (top).  Modules outside *package*
+    (tests, benchmarks, stdlib) return ``None`` and are never checked.
+    """
+    if module == package:
+        return ""
+    prefix = package + "."
+    if not module.startswith(prefix):
+        return None
+    return module[len(prefix):].split(".", 1)[0]
+
+
+#: The contract `repro lint` enforces by default.
+DEFAULT_CONTRACT = LayerContract()
+
+
+class ArchitectureContractRule(GraphRule):
+    """RL100: import that crosses the package layering the wrong way.
+
+    The §3.1 invariants survive only if data enters ``repro.core``
+    through its validated constructors — which is a statement about the
+    *direction* of dependencies, not about any single file.  This rule
+    pins that direction: ``core`` imports nothing internal, subsystems
+    import only what sits below them, orchestration imports freely.
+    """
+
+    code = "RL100"
+    summary = "import violates the package layering contract"
+
+    def __init__(self, contract: LayerContract | None = None) -> None:
+        self.contract = contract or DEFAULT_CONTRACT
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        contract = self.contract
+        for name in sorted(project.modules):
+            info = project.modules[name]
+            importer_layer = layer_of(name, contract.package)
+            if importer_layer is None:
+                continue
+            for record in info.imports:
+                target_layer = layer_of(record.target, contract.package)
+                if target_layer is None:
+                    continue
+                if contract.permits(importer_layer, target_layer, record.scope):
+                    continue
+                where = "lazily " if record.scope == SCOPE_LAZY else ""
+                importer_label = importer_layer or contract.package
+                allowed = contract.allowed.get(importer_layer, frozenset())
+                permitted = (
+                    ", ".join(sorted(allowed)) if allowed else "no internal layer"
+                )
+                yield self.finding(
+                    path=record.path,
+                    line=record.line,
+                    column=record.column,
+                    message=(
+                        f"layer '{importer_label}' {where}imports "
+                        f"'{record.target}' (layer '{target_layer}'), but the "
+                        f"architecture contract allows it {permitted} only"
+                    ),
+                )

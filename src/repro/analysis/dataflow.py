@@ -1,0 +1,466 @@
+"""Interprocedural taint and fork-safety passes (RL101/RL102).
+
+**Taint (RL101).**  The paper's information model (§3.1) keeps every
+trust and rating value in ``[-1, +1]``, and §3.2/§4 insist that all
+content arrives from *untrusted, machine-readable homepages*.  In code
+terms: any number parsed out of a crawled document
+(:mod:`repro.web.crawler`, :mod:`repro.web.weblog`,
+:mod:`repro.semweb.rdf`) is attacker-controlled until it passes through
+a recognized clamp/validate call.  This pass marks parse results
+(``literal.to_python()``, ``float(text)``) as tainted, propagates taint
+through assignments, containers, arithmetic and function returns (a
+fixpoint over ``returns_tainted``), treats
+``validate_score``/``clamp_score`` and the validating model
+constructors (``TrustStatement``, ``Rating``) as sanitizers, and flags
+any call that hands a still-tainted value to the scoring sinks
+(``repro.trust.appleseed``, ``repro.trust.advogato``,
+``repro.core.similarity``, ``repro.core.profiles``).
+
+**Fork safety (RL102).**  :mod:`repro.perf.parallel` dispatches worker
+functions into a process pool.  A worker that reads a module-global RNG
+or mutable cache sees a *copy* under ``fork`` (every worker inherits the
+same RNG stream position; cache writes silently vanish) and a *fresh,
+empty* module under ``spawn`` — either way the global is a correctness
+trap.  This pass resolves the callable handed to ``map``/``map_seeded``/
+``map_chunked``/``submit`` (unwrapping ``functools.partial``) and flags
+workers that read module-level globals classified as RNG state or
+mutable containers.
+
+Both passes are best-effort static analysis: dynamic dispatch and
+``getattr`` stay unresolved rather than guessed, so the rules err toward
+silence, never toward noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .engine import Finding, GraphRule
+from .symbols import FunctionInfo, ModuleInfo, ProjectIndex
+
+__all__ = [
+    "FORK_DISPATCH_METHODS",
+    "ForkSafetyRule",
+    "SANITIZER_NAMES",
+    "SINK_PREFIXES",
+    "SOURCE_MODULES",
+    "TaintRule",
+]
+
+#: Modules whose parse results are untrusted input (§3.2/§4 boundary).
+SOURCE_MODULES = frozenset(
+    {"repro.web.crawler", "repro.web.weblog", "repro.semweb.rdf"}
+)
+
+#: Callables that launder a tainted number into the §3.1 value model —
+#: matched on the last dotted component of the resolved call target, so
+#: ``validate_score(x)``, ``models.clamp_score(x)`` and the validating
+#: constructors all count.
+SANITIZER_NAMES = frozenset(
+    {"validate_score", "clamp_score", "TrustStatement", "Rating"}
+)
+
+#: Dotted prefixes of the scoring sinks tainted values must not reach.
+SINK_PREFIXES = (
+    "repro.trust.appleseed",
+    "repro.trust.advogato",
+    "repro.core.similarity",
+    "repro.core.profiles",
+)
+
+#: Methods that hand a callable to other processes.
+FORK_DISPATCH_METHODS = frozenset({"map", "map_seeded", "map_chunked", "submit"})
+
+
+def _sink_prefix(qualname: str) -> str | None:
+    for prefix in SINK_PREFIXES:
+        if qualname == prefix or qualname.startswith(prefix + "."):
+            return prefix
+    return None
+
+
+def _is_sanitizer(qualname: str) -> bool:
+    return qualname.rpartition(".")[2] in SANITIZER_NAMES
+
+
+class _FunctionTaint:
+    """Intra-function taint propagation for one function body.
+
+    A forward pass (run twice, so loop-carried taint converges on these
+    small bodies) tracks the set of tainted local names, records whether
+    any ``return`` expression is tainted, and collects calls that pass a
+    tainted argument into a sink module.
+    """
+
+    def __init__(
+        self,
+        project: ProjectIndex,
+        module: ModuleInfo,
+        func: FunctionInfo,
+        returns_tainted: frozenset[str],
+    ) -> None:
+        self.project = project
+        self.module = module
+        self.func = func
+        self.returns_tainted = returns_tainted
+        self.class_name = func.name.rpartition(".")[0] or None
+        self.tainted: set[str] = set()
+        self.returns_taint = False
+        #: (call node, resolved sink qualname) pairs with a tainted arg.
+        self.sink_hits: list[tuple[ast.Call, str]] = []
+        self._seen_hits: set[tuple[int, int]] = set()
+
+    # -- expression taint ---------------------------------------------------
+
+    def _resolve(self, node: ast.expr) -> str | None:
+        return self.project.resolve_call(self.module, node, self.class_name)
+
+    def _is_source_call(self, node: ast.Call) -> bool:
+        if self.func.module not in SOURCE_MODULES:
+            return False
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "to_python":
+            return True
+        if isinstance(node.func, ast.Name) and node.func.id == "float":
+            return bool(node.args) and not isinstance(node.args[0], ast.Constant)
+        return False
+
+    def expr_taint(self, node: ast.expr | None) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted
+        if isinstance(node, ast.Call):
+            return self._call_taint(node)
+        if isinstance(node, (ast.BinOp, ast.UnaryOp, ast.BoolOp, ast.IfExp)):
+            return any(
+                self.expr_taint(child)
+                for child in ast.iter_child_nodes(node)
+                if isinstance(child, ast.expr)
+            )
+        if isinstance(node, ast.Subscript):
+            return self.expr_taint(node.value)
+        if isinstance(node, ast.Attribute):
+            return self.expr_taint(node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.expr_taint(elt) for elt in node.elts)
+        if isinstance(node, ast.Dict):
+            return any(
+                self.expr_taint(part)
+                for part in (*node.keys, *node.values)
+                if part is not None
+            )
+        if isinstance(node, ast.Starred):
+            return self.expr_taint(node.value)
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            return self.expr_taint(node.elt) or any(
+                self.expr_taint(gen.iter) for gen in node.generators
+            )
+        if isinstance(node, ast.DictComp):
+            return (
+                self.expr_taint(node.key)
+                or self.expr_taint(node.value)
+                or any(self.expr_taint(gen.iter) for gen in node.generators)
+            )
+        if isinstance(node, ast.Await):
+            return self.expr_taint(node.value)
+        if isinstance(node, ast.NamedExpr):
+            return self.expr_taint(node.value)
+        return False
+
+    def _call_args_taint(self, node: ast.Call) -> bool:
+        return any(self.expr_taint(arg) for arg in node.args) or any(
+            self.expr_taint(kw.value) for kw in node.keywords
+        )
+
+    def _call_taint(self, node: ast.Call) -> bool:
+        resolved = self._resolve(node.func)
+        if resolved is not None and _is_sanitizer(resolved):
+            return False  # the whole point of the sanitizer
+        if self._is_source_call(node):
+            return True
+        if resolved is not None and resolved in self.returns_tainted:
+            return True
+        # Unknown or pass-through callable (str(), dict(), min(), bound
+        # methods...): taint flows through its arguments.  Method calls on
+        # a tainted receiver (``weights.items()``) stay tainted too.
+        if self._call_args_taint(node):
+            return True
+        if isinstance(node.func, ast.Attribute) and self.expr_taint(node.func.value):
+            return True
+        return False
+
+    # -- sink detection -----------------------------------------------------
+
+    def _check_sink(self, node: ast.Call) -> None:
+        resolved = self._resolve(node.func)
+        if resolved is None:
+            return
+        prefix = _sink_prefix(resolved)
+        if prefix is None or _is_sanitizer(resolved):
+            return
+        if self._call_args_taint(node):
+            key = (node.lineno, node.col_offset)
+            if key not in self._seen_hits:
+                self._seen_hits.add(key)
+                self.sink_hits.append((node, resolved))
+
+    # -- statement walk -----------------------------------------------------
+
+    def _bind_target(self, target: ast.expr, tainted: bool) -> None:
+        if isinstance(target, ast.Name):
+            if tainted:
+                self.tainted.add(target.id)
+            else:
+                self.tainted.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, tainted)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, tainted)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)) and tainted:
+            # Storing a tainted value into a container taints the container.
+            base = target.value
+            while isinstance(base, (ast.Subscript, ast.Attribute)):
+                base = base.value
+            if isinstance(base, ast.Name):
+                self.tainted.add(base.id)
+
+    def _visit_stmts(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        for call in self._calls_in(stmt):
+            self._check_sink(call)
+        if isinstance(stmt, ast.Assign):
+            taint = self.expr_taint(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(target, taint)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind_target(stmt.target, self.expr_taint(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            if self.expr_taint(stmt.value):
+                self._bind_target(stmt.target, True)
+        elif isinstance(stmt, ast.Return):
+            if self.expr_taint(stmt.value):
+                self.returns_taint = True
+        elif isinstance(stmt, ast.For):
+            self._bind_target(stmt.target, self.expr_taint(stmt.iter))
+            self._visit_stmts(stmt.body)
+            self._visit_stmts(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._visit_stmts(stmt.body)
+            self._visit_stmts(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._visit_stmts(stmt.body)
+            self._visit_stmts(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            self._visit_stmts(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._visit_stmts(stmt.body)
+            for handler in stmt.handlers:
+                self._visit_stmts(handler.body)
+            self._visit_stmts(stmt.orelse)
+            self._visit_stmts(stmt.finalbody)
+        # Nested defs/classes: skipped (analyzed as their own functions).
+
+    def _calls_in(self, stmt: ast.stmt) -> Iterator[ast.Call]:
+        """Calls in *stmt*'s own expressions, not its nested statements."""
+        nested: set[int] = set()
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, (ast.stmt, ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(id(child))
+        for child in ast.iter_child_nodes(stmt):
+            if id(child) in nested or not isinstance(child, (ast.expr, ast.keyword)):
+                continue
+            for node in ast.walk(child):
+                if isinstance(node, ast.Call):
+                    yield node
+
+    def analyze(self) -> None:
+        # Two passes let taint assigned late in a loop body reach uses
+        # earlier in that body on the second sweep; sink hits accumulate
+        # across passes and dedupe by location via ``_seen_hits``.
+        for _ in range(2):
+            self._visit_stmts(list(self.func.node.body))
+
+
+class TaintRule(GraphRule):
+    """RL101: untrusted parsed value reaches a scoring sink unclamped.
+
+    Runs a ``returns_tainted`` fixpoint over every indexed function so a
+    helper that merely *forwards* a parsed value (``_extract_weighted_links``
+    returning a dict of floats) carries its taint to the caller, then
+    reports each call that passes tainted data into
+    ``repro.trust.appleseed``/``advogato`` or
+    ``repro.core.similarity``/``profiles`` without a recognized
+    ``validate_score``/``clamp_score``/model-constructor sanitizer.
+    """
+
+    code = "RL101"
+    summary = "untrusted parsed value reaches a scoring sink without clamp/validate"
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        functions = list(project.functions())
+        returns_tainted: set[str] = set()
+        # Fixpoint on which functions return tainted values.
+        for _ in range(len(functions) + 1):
+            changed = False
+            for func in functions:
+                if func.qualname in returns_tainted:
+                    continue
+                module = project.modules[func.module]
+                analysis = _FunctionTaint(
+                    project, module, func, frozenset(returns_tainted)
+                )
+                analysis.analyze()
+                if analysis.returns_taint:
+                    returns_tainted.add(func.qualname)
+                    changed = True
+            if not changed:
+                break
+
+        frozen = frozenset(returns_tainted)
+        for func in functions:
+            module = project.modules[func.module]
+            analysis = _FunctionTaint(project, module, func, frozen)
+            analysis.analyze()
+            for call, resolved in analysis.sink_hits:
+                yield self.finding(
+                    path=module.path,
+                    line=call.lineno,
+                    column=call.col_offset + 1,
+                    message=(
+                        f"value parsed from untrusted web content flows into "
+                        f"{resolved} without passing validate_score/clamp_score "
+                        f"or a validating model constructor (§3.1 range contract)"
+                    ),
+                )
+
+
+class ForkSafetyRule(GraphRule):
+    """RL102: pool worker reads module-global RNG or mutable cache.
+
+    Finds ``runner.map(...)``/``map_seeded``/``map_chunked``/``submit``
+    dispatch sites, resolves the worker callable (through
+    ``functools.partial``), and checks the worker's body for reads of
+    module-level names classified as RNG state or mutable containers.
+    Under ``fork`` each worker inherits a copy (identical RNG streams,
+    lost cache writes); under ``spawn`` the module re-initializes empty.
+    """
+
+    code = "RL102"
+    summary = "process-pool worker references fork-unsafe module-global state"
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        for name in sorted(project.modules):
+            module = project.modules[name]
+            for local_name in sorted(module.functions):
+                func = module.functions[local_name]
+                class_name = local_name.rpartition(".")[0] or None
+                for node in ast.walk(func.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    if not isinstance(node.func, ast.Attribute):
+                        continue
+                    if node.func.attr not in FORK_DISPATCH_METHODS:
+                        continue
+                    if not node.args:
+                        continue
+                    worker = self._resolve_worker(
+                        project, module, node.args[0], class_name
+                    )
+                    if worker is None:
+                        continue
+                    yield from self._check_worker(project, module, node, worker)
+
+    def _resolve_worker(
+        self,
+        project: ProjectIndex,
+        module: ModuleInfo,
+        arg: ast.expr,
+        class_name: str | None,
+    ) -> FunctionInfo | None:
+        """The FunctionInfo a dispatch argument refers to, if resolvable."""
+        node = arg
+        if isinstance(node, ast.Call):
+            target = project.resolve_call(module, node.func, class_name)
+            is_partial = target is not None and (
+                target.rpartition(".")[2] == "partial"
+            )
+            if not is_partial or not node.args:
+                return None
+            node = node.args[0]
+        qualname = project.resolve_call(module, node, class_name)
+        if qualname is None:
+            return None
+        return project.function(qualname)
+
+    def _check_worker(
+        self,
+        project: ProjectIndex,
+        dispatch_module: ModuleInfo,
+        dispatch: ast.Call,
+        worker: FunctionInfo,
+    ) -> Iterator[Finding]:
+        worker_module = project.modules[worker.module]
+        hazards = {
+            name: binding
+            for name, binding in worker_module.globals.items()
+            if binding.kind in ("mutable", "rng")
+        }
+        if not hazards:
+            return
+        bound = self._locally_bound_names(worker.node)
+        reported: set[str] = set()
+        for node in ast.walk(worker.node):
+            if not isinstance(node, ast.Name) or not isinstance(node.ctx, ast.Load):
+                continue
+            name = node.id
+            if name in bound or name not in hazards or name in reported:
+                continue
+            reported.add(name)
+            binding = hazards[name]
+            kind = "RNG state" if binding.kind == "rng" else "mutable cache"
+            yield self.finding(
+                path=dispatch_module.path,
+                line=dispatch.lineno,
+                column=dispatch.col_offset + 1,
+                message=(
+                    f"worker {worker.qualname} reads module-global {kind} "
+                    f"'{name}' ({worker_module.path}:{binding.line}); each "
+                    f"pool process gets its own copy, so RNG streams repeat "
+                    f"and cache writes are lost — pass the state as an "
+                    f"argument instead"
+                ),
+            )
+
+    @staticmethod
+    def _locally_bound_names(
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> set[str]:
+        """Parameter and locally-assigned names of a function."""
+        bound: set[str] = set()
+        args = node.args
+        for arg in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *filter(None, (args.vararg, args.kwarg)),
+        ):
+            bound.add(arg.arg)
+        declared_global: set[str] = set()
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) and isinstance(
+                child.ctx, (ast.Store, ast.Del)
+            ):
+                bound.add(child.id)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if child is not node:
+                    bound.add(child.name)
+            elif isinstance(child, ast.Global):
+                declared_global.update(child.names)
+        # ``global X`` makes every access hit the module — X is NOT local.
+        return bound - declared_global

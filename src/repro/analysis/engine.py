@@ -28,9 +28,14 @@ import tokenize
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .symbols import ProjectIndex
 
 __all__ = [
     "Finding",
+    "GraphRule",
     "LintEngine",
     "Rule",
     "RuleContext",
@@ -38,6 +43,7 @@ __all__ = [
     "format_findings_json",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
 ]
 
@@ -107,6 +113,36 @@ class Rule:
         )
 
 
+class GraphRule:
+    """Base class for whole-program (reprograph) rules.
+
+    Unlike :class:`Rule`, a graph rule runs once per lint invocation over
+    the :class:`~repro.analysis.symbols.ProjectIndex` of every linted
+    file, so it can see cross-module facts: layering violations, taint
+    paths, fork hazards, dead modules, import cycles.  Findings still
+    anchor to one ``(path, line)`` and honour the same
+    ``# reprolint: disable=RLxxx`` suppressions.
+    """
+
+    code: str = "RL100"
+    summary: str = ""
+
+    def check_project(self, project: "ProjectIndex") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, path: str, line: int, column: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=path,
+            line=line,
+            column=column,
+            code=self.code,
+            message=message,
+            summary=self.summary,
+        )
+
+
 def _suppressed_codes(source: str) -> dict[int, frozenset[str] | None]:
     """Map line number → suppressed codes (``None`` = all codes).
 
@@ -160,11 +196,17 @@ class LintEngine:
         self,
         rules: Sequence[Rule],
         select: Iterable[str] | None = None,
+        graph_rules: Sequence[GraphRule] = (),
     ) -> None:
         selected = None if select is None else frozenset(select)
         self.rules: tuple[Rule, ...] = tuple(
             rule
             for rule in rules
+            if selected is None or rule.code in selected
+        )
+        self.graph_rules: tuple[GraphRule, ...] = tuple(
+            rule
+            for rule in graph_rules
             if selected is None or rule.code in selected
         )
 
@@ -190,23 +232,58 @@ class LintEngine:
             file_path.read_text(encoding="utf-8"), str(file_path)
         )
 
-    def lint_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
-        """Lint every ``*.py`` file under *paths* (files or directories)."""
-        findings: list[Finding] = []
+    @staticmethod
+    def discover(paths: Iterable[str | Path]) -> list[Path]:
+        """Every ``*.py`` file under *paths* (files or directories)."""
+        files: list[Path] = []
         for path in paths:
             target = Path(path)
             if target.is_dir():
-                for file_path in sorted(target.rglob("*.py")):
-                    findings.extend(self.lint_file(file_path))
+                files.extend(sorted(target.rglob("*.py")))
             else:
-                findings.extend(self.lint_file(target))
+                files.append(target)
+        return files
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+        """Run the per-file rules over every ``*.py`` file under *paths*."""
+        findings: list[Finding] = []
+        for file_path in self.discover(paths):
+            findings.extend(self.lint_file(file_path))
+        return findings
+
+    def lint_project(self, paths: Iterable[str | Path]) -> list[Finding]:
+        """One-pass whole-project lint: per-file rules plus graph rules.
+
+        The graph rules see a :class:`~repro.analysis.symbols.ProjectIndex`
+        built from exactly the files the per-file rules visited, so
+        ``repro lint src tests`` yields file findings and cross-module
+        findings in a single report.  Graph findings honour the same
+        per-line suppression comments as file findings.
+        """
+        files = self.discover(paths)
+        findings: list[Finding] = []
+        suppressions_by_path: dict[str, dict[int, frozenset[str] | None]] = {}
+        for file_path in files:
+            source = file_path.read_text(encoding="utf-8")
+            findings.extend(self.lint_source(source, str(file_path)))
+            suppressions_by_path[str(file_path)] = _suppressed_codes(source)
+        if self.graph_rules:
+            from .symbols import ProjectIndex
+
+            project = ProjectIndex.build(files)
+            for rule in self.graph_rules:
+                for finding in rule.check_project(project):
+                    suppressions = suppressions_by_path.get(finding.path, {})
+                    if not _is_suppressed(finding, suppressions):
+                        findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
         return findings
 
 
 def _default_engine(select: Iterable[str] | None = None) -> LintEngine:
-    from .rules import DEFAULT_RULES
+    from .rules import DEFAULT_GRAPH_RULES, DEFAULT_RULES
 
-    return LintEngine(DEFAULT_RULES, select=select)
+    return LintEngine(DEFAULT_RULES, select=select, graph_rules=DEFAULT_GRAPH_RULES)
 
 
 def lint_source(
@@ -226,8 +303,15 @@ def lint_file(
 def lint_paths(
     paths: Iterable[str | Path], select: Iterable[str] | None = None
 ) -> list[Finding]:
-    """Lint files/directories with the default rule set."""
+    """Lint files/directories with the default per-file rule set."""
     return _default_engine(select).lint_paths(paths)
+
+
+def lint_project(
+    paths: Iterable[str | Path], select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Whole-project lint: per-file rules plus the reprograph rules."""
+    return _default_engine(select).lint_project(paths)
 
 
 def format_findings(findings: Sequence[Finding]) -> str:

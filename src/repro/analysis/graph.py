@@ -1,0 +1,241 @@
+"""Module-level import graph and the graph hygiene rules (RL103/RL104).
+
+Built on the :class:`~repro.analysis.symbols.ProjectIndex`, the
+:class:`ModuleGraph` gives every reprograph rule the same two views:
+
+* **explicit edges** — one per import statement, with scope (``module``,
+  ``lazy``, ``type-checking``), used by layering contracts and cycle
+  detection;
+* **reachability edges** — explicit edges plus the implicit
+  parent-package edges Python adds at runtime (importing
+  ``repro.web.crawler`` executes ``repro/__init__.py`` and
+  ``repro/web/__init__.py`` first), used by dead-module detection.
+
+The distinction matters: parent-package edges would report every
+``package ↔ subpackage`` pair as a cycle even though Python's partial
+initialization tolerates them, while reachability without them would
+declare re-exporting ``__init__`` modules dead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+from .engine import Finding, GraphRule
+from .symbols import SCOPE_MODULE, ImportRecord, ProjectIndex
+
+__all__ = [
+    "DeadModuleRule",
+    "ImportCycleRule",
+    "ModuleGraph",
+    "ROOT_PACKAGE",
+    "ENTRY_POINTS",
+]
+
+#: The package the architecture rules reason about.
+ROOT_PACKAGE = "repro"
+
+#: Modules that are reachable by construction: the package root (public
+#: API), the console-script entry point, and ``python -m`` mains.
+ENTRY_POINTS = (
+    "repro",
+    "repro.cli",
+    "repro.analysis.__main__",
+)
+
+
+def _in_root_package(module: str) -> bool:
+    return module == ROOT_PACKAGE or module.startswith(ROOT_PACKAGE + ".")
+
+
+class ModuleGraph:
+    """Import edges between the modules of a :class:`ProjectIndex`."""
+
+    def __init__(self, project: ProjectIndex) -> None:
+        self.project = project
+        #: importer → {target → [records]}, explicit edges only, targets
+        #: restricted to modules present in the index.
+        self.edges: dict[str, dict[str, list[ImportRecord]]] = {}
+        for name in sorted(project.modules):
+            info = project.modules[name]
+            outgoing: dict[str, list[ImportRecord]] = {}
+            for record in info.imports:
+                if record.target in project.modules and record.target != name:
+                    outgoing.setdefault(record.target, []).append(record)
+            self.edges[name] = outgoing
+
+    # -- reachability -------------------------------------------------------
+
+    def _parent_packages(self, module: str) -> Iterator[str]:
+        parts = module.split(".")
+        for cut in range(1, len(parts)):
+            parent = ".".join(parts[:cut])
+            if parent in self.project.modules:
+                yield parent
+
+    def reachable(self, roots: Iterator[str] | tuple[str, ...]) -> set[str]:
+        """Modules reachable from *roots* over explicit + package edges."""
+        seen: set[str] = set()
+        queue = deque(root for root in roots if root in self.project.modules)
+        seen.update(queue)
+        while queue:
+            current = queue.popleft()
+            neighbors: set[str] = set(self.edges.get(current, ()))
+            # Importing a submodule executes its parent packages, and a
+            # package's __init__ is what makes its re-exports live.
+            for target in list(neighbors):
+                neighbors.update(self._parent_packages(target))
+            neighbors.update(self._parent_packages(current))
+            for neighbor in sorted(neighbors):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        return seen
+
+    # -- cycles -------------------------------------------------------------
+
+    def cycles(self) -> list[tuple[str, ...]]:
+        """Cycles among *module-scope* explicit edges, deterministically.
+
+        Lazy and ``TYPE_CHECKING`` imports are excluded: deferring an
+        import into a function body is exactly how a runtime cycle is
+        broken, so only import-time edges can deadlock module init.
+        Returns each strongly connected component with more than one
+        module (or a self-loop), rotated to start at its smallest name.
+        """
+        graph: dict[str, list[str]] = {
+            src: sorted(
+                dst
+                for dst, records in targets.items()
+                if any(r.scope == SCOPE_MODULE for r in records)
+            )
+            for src, targets in self.edges.items()
+        }
+        # Iterative Tarjan SCC.
+        index_counter = 0
+        indices: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        components: list[tuple[str, ...]] = []
+
+        for start in sorted(graph):
+            if start in indices:
+                continue
+            work: list[tuple[str, int]] = [(start, 0)]
+            while work:
+                node, child_index = work[-1]
+                if child_index == 0:
+                    indices[node] = lowlink[node] = index_counter
+                    index_counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                children = graph.get(node, [])
+                for offset in range(child_index, len(children)):
+                    child = children[offset]
+                    if child not in indices:
+                        work[-1] = (node, offset + 1)
+                        work.append((child, 0))
+                        recurse = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], indices[child])
+                if recurse:
+                    continue
+                work.pop()
+                if lowlink[node] == indices[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    is_self_loop = len(component) == 1 and node in graph.get(node, [])
+                    if len(component) > 1 or is_self_loop:
+                        pivot = component.index(min(component))
+                        rotated = tuple(component[pivot:] + component[:pivot])
+                        components.append(rotated)
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+        return sorted(components)
+
+
+class ImportCycleRule(GraphRule):
+    """RL104: import-time cycle between modules.
+
+    A cycle among module-scope imports makes initialization order
+    load-bearing: whichever module happens to be imported first sees a
+    half-initialized partner.  Break the cycle by moving one edge into a
+    function body (a lazy import) or by extracting the shared piece into
+    a lower-level module.
+    """
+
+    code = "RL104"
+    summary = "import-time cycle makes module initialization order load-bearing"
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        graph = ModuleGraph(project)
+        for cycle in graph.cycles():
+            chain = " -> ".join([*cycle, cycle[0]])
+            # Anchor at the first edge of the cycle: the import in the
+            # smallest-named module that points into the cycle.
+            head, successor = cycle[0], cycle[1 % len(cycle)]
+            records = [
+                r
+                for r in graph.edges[head].get(successor, [])
+                if r.scope == SCOPE_MODULE
+            ]
+            anchor = records[0] if records else None
+            info = project.modules[head]
+            yield self.finding(
+                path=anchor.path if anchor else info.path,
+                line=anchor.line if anchor else 1,
+                column=anchor.column if anchor else 1,
+                message=(
+                    f"import cycle {chain}; defer one import into a "
+                    "function body or extract the shared piece downward"
+                ),
+            )
+
+
+class DeadModuleRule(GraphRule):
+    """RL103: a ``repro`` module no entry point can reach.
+
+    Reachability starts from the public package root (``repro``), the
+    console script (``repro.cli``) and ``python -m`` mains, and follows
+    every import — module-scope, lazy, and ``TYPE_CHECKING`` — plus the
+    implicit parent-package edges.  A module nothing reaches is shipped,
+    maintained, and never executed: delete it or wire it into the API.
+
+    The rule only runs when the linted set contains the ``repro`` package
+    root itself, so linting a subdirectory never produces spurious
+    corpses.
+    """
+
+    code = "RL103"
+    summary = "module is unreachable from every entry point (dead code)"
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        if ROOT_PACKAGE not in project.modules:
+            return
+        graph = ModuleGraph(project)
+        live = graph.reachable(ENTRY_POINTS)
+        for name in sorted(project.modules):
+            if not _in_root_package(name) or name in live:
+                continue
+            if name.rpartition(".")[2] == "__main__":
+                continue  # runnable via ``python -m``
+            info = project.modules[name]
+            yield self.finding(
+                path=info.path,
+                line=1,
+                column=1,
+                message=(
+                    f"module {name} is not reachable from any entry point "
+                    f"({', '.join(ENTRY_POINTS)}); delete it or re-export it"
+                ),
+            )

@@ -27,6 +27,21 @@ section or inter-subsystem contract it protects:
            raise at runtime (or worse, silently skew energy flows)
 ========  ==============================================================
 
+The whole-program (reprograph) rules live next door and are registered
+here as :data:`DEFAULT_GRAPH_RULES`:
+
+========  ==============================================================
+``RL100``  architecture-contract violation
+           (:mod:`repro.analysis.contracts`)
+``RL101``  untrusted parsed value reaches a scoring sink unclamped
+           (:mod:`repro.analysis.dataflow`)
+``RL102``  fork-unsafe module-global state read from a pool worker
+           (:mod:`repro.analysis.dataflow`)
+``RL103``  dead module — unreachable from every entry point
+           (:mod:`repro.analysis.graph`)
+``RL104``  import-time cycle (:mod:`repro.analysis.graph`)
+========  ==============================================================
+
 Suppress a deliberate exception with ``# reprolint: disable=RLxxx`` on
 the offending line.
 """
@@ -37,9 +52,13 @@ import ast
 import re
 from collections.abc import Iterator
 
-from .engine import Finding, Rule, RuleContext
+from .contracts import ArchitectureContractRule
+from .dataflow import ForkSafetyRule, TaintRule
+from .engine import Finding, GraphRule, Rule, RuleContext
+from .graph import DeadModuleRule, ImportCycleRule
 
 __all__ = [
+    "DEFAULT_GRAPH_RULES",
     "DEFAULT_RULES",
     "FloatEqualityOnScoresRule",
     "MutableDefaultArgRule",
@@ -424,7 +443,18 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     ScoreLiteralRangeRule(),
 )
 
+#: Whole-program rules `repro lint` runs alongside the per-file set.
+DEFAULT_GRAPH_RULES: tuple[GraphRule, ...] = (
+    ArchitectureContractRule(),
+    TaintRule(),
+    ForkSafetyRule(),
+    DeadModuleRule(),
+    ImportCycleRule(),
+)
+
 
 def all_rule_codes() -> tuple[str, ...]:
-    """Stable tuple of every registered rule code."""
-    return tuple(rule.code for rule in DEFAULT_RULES)
+    """Stable tuple of every registered rule code (file + graph)."""
+    return tuple(rule.code for rule in DEFAULT_RULES) + tuple(
+        rule.code for rule in DEFAULT_GRAPH_RULES
+    )

@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 output for reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the interchange
+format CI systems ingest for code-scanning annotations.  This module
+emits the minimal valid subset: one ``run`` with a ``tool.driver``
+describing every rule that fired plus one ``result`` per finding, with
+file locations as relative URIs.  The document is deterministic for a
+given finding list (sorted keys, stable rule ordering), which is what
+the golden-file test asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from .engine import Finding
+
+__all__ = ["SARIF_VERSION", "findings_to_sarif", "format_findings_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "reprolint"
+
+
+def _rule_descriptor(code: str, summary: str) -> dict[str, object]:
+    descriptor: dict[str, object] = {"id": code}
+    if summary:
+        descriptor["shortDescription"] = {"text": summary}
+    return descriptor
+
+
+def _result(finding: Finding) -> dict[str, object]:
+    return {
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def findings_to_sarif(findings: Sequence[Finding]) -> dict[str, object]:
+    """The findings as a SARIF 2.1.0 document (as a plain dict)."""
+    rules: dict[str, dict[str, object]] = {}
+    for finding in findings:
+        rules.setdefault(finding.code, _rule_descriptor(finding.code, finding.summary))
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": "https://example.invalid/reprolint",
+                        "rules": [rules[code] for code in sorted(rules)],
+                    }
+                },
+                "results": [_result(finding) for finding in findings],
+            }
+        ],
+    }
+
+
+def format_findings_sarif(findings: Sequence[Finding]) -> str:
+    """Findings rendered as a SARIF JSON string (stable, indented)."""
+    return json.dumps(findings_to_sarif(findings), indent=2, sort_keys=True)

@@ -12,7 +12,7 @@ Installed as the ``repro`` console script.  Subcommands:
 * ``repro crawl``      — chaos crawl: replicate a community under injected
   faults (``--fault-rate/--fault-seed/--retries`` …) and report
   retry/breaker/degradation statistics
-* ``repro lint``       — reprolint, the domain-aware static-analysis pass
+* ``repro lint``       — reprolint + reprograph, the static-analysis pass
   (score ranges, seeded randomness, tolerance comparisons; see
   ``docs/ANALYSIS.md``)
 
@@ -164,13 +164,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="reprolint: domain-aware static analysis (RL001..RL006)",
+        help=(
+            "reprolint: domain-aware static analysis "
+            "(RL001..RL006 file rules + RL100..RL104 graph rules)"
+        ),
     )
     lint.add_argument("paths", nargs="+",
                       help="files or directories to lint")
-    lint.add_argument("--format", choices=["human", "json"], default="human")
+    lint.add_argument("--format", choices=["human", "json", "sarif"],
+                      default="human")
     lint.add_argument("--select", default=None, metavar="CODES",
                       help="comma-separated rule codes to run (default: all)")
+    lint.add_argument("--sarif", default=None, metavar="FILE",
+                      help="also write a SARIF 2.1.0 report to FILE")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="baseline file of accepted legacy findings")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="regenerate --baseline FILE from current findings")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
 

@@ -17,6 +17,7 @@ paper writes ``t_i(a_j) = ⊥`` we simply have no entry.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
 from typing import Optional
@@ -27,6 +28,7 @@ __all__ = [
     "Product",
     "Rating",
     "TrustStatement",
+    "clamp_score",
     "validate_score",
 ]
 
@@ -46,6 +48,22 @@ def validate_score(value: float, kind: str = "score") -> float:
     if not (SCORE_MIN <= value <= SCORE_MAX):
         raise ValueError(f"{kind} must lie in [-1, +1], got {value}")
     return value
+
+
+def clamp_score(value: float, kind: str = "score") -> float:
+    """Coerce *value* onto the paper's ``[-1, +1]`` scale.
+
+    The ingestion-boundary counterpart of :func:`validate_score`: crawled
+    homepages are untrusted (§3.2, §4), so an out-of-range weight is not
+    a programming error to raise on but adversarial input to neutralize.
+    Values are clamped to the nearest bound; NaN is still rejected with
+    :class:`ValueError` because no clamp target exists for it (and a NaN
+    weight would silently corrupt spreading-activation energy flows).
+    """
+    value = float(value)
+    if math.isnan(value):
+        raise ValueError(f"{kind} must not be NaN")
+    return min(max(value, SCORE_MIN), SCORE_MAX)
 
 
 @dataclass(frozen=True, slots=True)

@@ -15,10 +15,13 @@ from __future__ import annotations
 
 import random
 import time
+from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
+from ..core.models import Dataset
 from ..core.neighborhood import NeighborhoodFormation
 from ..core.profiles import (
+    Profile,
     TaxonomyProfileBuilder,
     descriptor_score_path,
     flat_category_profile,
@@ -29,12 +32,13 @@ from ..core.recommender import (
     ProfileStore,
     PureCFRecommender,
     RandomRecommender,
+    Recommender,
     SemanticWebRecommender,
     TrustOnlyRecommender,
 )
 from ..core.similarity import pearson, profile_overlap
 from ..core.synthesis import BordaCount, LinearBlend, Multiplicative, TrustFilter
-from ..core.taxonomy import figure1_fragment
+from ..core.taxonomy import Taxonomy, figure1_fragment
 from ..datasets.amazon import book_taxonomy_config, dvd_taxonomy_config
 from ..datasets.generators import CommunityConfig, SyntheticCommunity, generate_community
 from ..trust.advogato import Advogato
@@ -323,7 +327,9 @@ def run_ex04_attack_resistance(
 # ---------------------------------------------------------------------------
 
 
-def _ex05_profile_chunk(task) -> list[tuple[str, dict, dict, dict]]:
+def _ex05_profile_chunk(
+    task: tuple[Dataset, Taxonomy, Sequence[str]],
+) -> list[tuple[str, Profile, Profile, Profile]]:
     """Worker: all three profile representations for one agent chunk.
 
     Module-level so :class:`~repro.perf.parallel.ParallelExperimentRunner`
@@ -331,7 +337,7 @@ def _ex05_profile_chunk(task) -> list[tuple[str, dict, dict, dict]]:
     """
     dataset, taxonomy, agents = task
     builder = TaxonomyProfileBuilder(taxonomy)
-    out = []
+    out: list[tuple[str, Profile, Profile, Profile]] = []
     for agent in agents:
         ratings = dataset.ratings_of(agent)
         out.append(
@@ -421,7 +427,9 @@ def run_ex05_profile_overlap(
 # ---------------------------------------------------------------------------
 
 
-def _build_methods(train, taxonomy):
+def _build_methods(
+    train: Dataset, taxonomy: Taxonomy
+) -> list[tuple[str, Recommender]]:
     """All competing recommenders over one training dataset."""
     store = ProfileStore(train, TaxonomyProfileBuilder(taxonomy))
     graph = TrustGraph.from_dataset(train)
@@ -599,7 +607,7 @@ def run_ex08_scalability(
         for agent in agents:  # warm profile caches outside the timed region
             store.profile(agent)
 
-        def time_per_query(recommender) -> float:
+        def time_per_query(recommender: Recommender) -> float:
             start = time.perf_counter()
             for agent in agents:
                 recommender.recommend(agent, limit=10)

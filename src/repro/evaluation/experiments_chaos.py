@@ -15,11 +15,17 @@ Deterministic given its seed, like every other experiment in the suite.
 
 from __future__ import annotations
 
+from ..core.models import Dataset
 from ..core.recommender import SemanticWebRecommender
+from ..core.taxonomy import Taxonomy
 from ..datasets.generators import SyntheticCommunity
 from ..web.faults import FaultPlan, FaultyWeb, RetryPolicy
 from ..web.network import SimulatedWeb
-from ..web.replicator import CommunityReplicator, publish_split_community
+from ..web.replicator import (
+    CommunityReplicator,
+    ReplicationReport,
+    publish_split_community,
+)
 from .experiments import default_community
 from .protocol import Table
 
@@ -47,7 +53,7 @@ def _replicate(
     community: SyntheticCommunity,
     plan: FaultPlan | None,
     retry: RetryPolicy,
-):
+) -> tuple[str, Dataset, Taxonomy, ReplicationReport]:
     """Two full split-channel replication passes, optionally under faults.
 
     The first pass is the cold crawl; the second re-replicates into the
@@ -62,11 +68,12 @@ def _replicate(
     consumer_web = web if plan is None else FaultyWeb(web, plan)
     seed_agent = sorted(community.dataset.agents)[0]
     replicator = CommunityReplicator(web=consumer_web, retry=retry)
-    dataset = taxonomy = report = None
-    for _ in range(2):
-        dataset, taxonomy, report = replicator.replicate(
-            [seed_agent], taxonomy_uri=taxonomy_uri, catalog_uri=catalog_uri
-        )
+    replicator.replicate(
+        [seed_agent], taxonomy_uri=taxonomy_uri, catalog_uri=catalog_uri
+    )
+    dataset, taxonomy, report = replicator.replicate(
+        [seed_agent], taxonomy_uri=taxonomy_uri, catalog_uri=catalog_uri
+    )
     return seed_agent, dataset, taxonomy, report
 
 

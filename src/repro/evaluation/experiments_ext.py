@@ -20,11 +20,12 @@ deployment claims with the machinery this library adds:
 from __future__ import annotations
 
 import random
+from collections.abc import Mapping
 
-from ..core.models import Dataset
+from ..core.models import Dataset, Product
 from ..core.neighborhood import NeighborhoodFormation
 from ..core.prediction import RatingPredictor
-from ..core.profiles import TaxonomyProfileBuilder
+from ..core.profiles import Profile, TaxonomyProfileBuilder
 from ..core.recommender import (
     ProfileStore,
     PureCFRecommender,
@@ -311,7 +312,11 @@ def run_ex14_ablations(
     from ..core.profiles import flat_category_profile
 
     class _FlatBuilder(TaxonomyProfileBuilder):
-        def build(self, ratings, products):  # type: ignore[override]
+        def build(
+            self,
+            ratings: Mapping[str, float],
+            products: Mapping[str, Product],
+        ) -> Profile:
             return flat_category_profile(ratings, products, known_topics=self.taxonomy)
 
     flat = evaluate_recommender("flat", hybrid_with(_FlatBuilder(taxonomy)), split)

@@ -20,6 +20,8 @@ import itertools
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..core.models import Dataset, clamp_score
+from ..core.taxonomy import Taxonomy
 from ..semweb.foaf import (
     parse_agent_homepage,
     publish_agent,
@@ -320,6 +322,11 @@ class Crawler:
         ``foaf:knows`` links without an accompanying trust statement get
         weight 0.0 (the caller applies :attr:`DEFAULT_LINK_TRUST` as the
         floor); reified trust statements supply their stated value.
+
+        Crawled documents are untrusted input (§3.2, §4): stated weights
+        are clamped onto the paper's ``[-1, +1]`` scale via
+        :func:`repro.core.models.clamp_score`, and NaN weights are
+        dropped like any other malformed statement.
         """
         from ..semweb.namespace import TRUST
         from ..semweb.rdf import Literal
@@ -339,7 +346,9 @@ class Crawler:
             value = graph.value(subject=statement, predicate=TRUST.value)
             if isinstance(target, URIRef) and isinstance(value, Literal):
                 try:
-                    weights[str(target)] = float(value.to_python())
+                    weights[str(target)] = clamp_score(
+                        float(value.to_python()), kind="link trust weight"
+                    )
                 except (TypeError, ValueError):
                     continue
         return sorted(weights.items())
@@ -421,8 +430,8 @@ class Crawler:
 
 def publish_community(
     web: SimulatedWeb,
-    dataset,
-    taxonomy,
+    dataset: Dataset,
+    taxonomy: Taxonomy,
     taxonomy_uri: str = DEFAULT_TAXONOMY_URI,
     catalog_uri: str = DEFAULT_CATALOG_URI,
 ) -> tuple[str, str]:

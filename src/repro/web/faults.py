@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from urllib.parse import urlsplit
 
@@ -208,7 +209,7 @@ class FaultyWeb:
     def version(self, uri: str) -> int:
         return self.inner.version(uri)
 
-    def uris(self):
+    def uris(self) -> Iterator[str]:
         return self.inner.uris()
 
     # -- traffic counters (single source of truth: the inner web) --------------

@@ -31,8 +31,9 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-from ..core.models import Dataset, Rating
+from ..core.models import Dataset, Rating, validate_score
 from ..core.similarity import isclose
+from .network import SimulatedWeb
 
 __all__ = [
     "LinkMiner",
@@ -151,11 +152,14 @@ class LinkMiner:
                 self.unmapped.append(identifier)
                 continue
             try:
-                value = float(match.group("value"))
-            except ValueError:  # pragma: no cover - regex restricts format
+                # Mined weblog markup is untrusted input: the shared §3.1
+                # validator is the one place that decides what a legal
+                # rating is (range *and* NaN rejection).
+                ratings[identifier] = validate_score(
+                    float(match.group("value")), kind="mined rating"
+                )
+            except ValueError:
                 continue
-            if -1.0 <= value <= 1.0:
-                ratings[identifier] = value
         return [
             Rating(agent=agent, product=product, value=value)
             for product, value in sorted(ratings.items())
@@ -167,7 +171,9 @@ def weblog_uri(agent_uri: str) -> str:
     return agent_uri.rstrip("/") + "/weblog"
 
 
-def publish_weblogs(web, dataset: Dataset, posts_per_log: int = 3) -> list[str]:
+def publish_weblogs(
+    web: SimulatedWeb, dataset: Dataset, posts_per_log: int = 3
+) -> list[str]:
     """Host one weblog per agent, rendering its ratings as product links.
 
     Positive implicit ratings become hyperlinks; non-unit ratings become

@@ -13,6 +13,7 @@ from repro.core.models import (
     Product,
     Rating,
     TrustStatement,
+    clamp_score,
     descriptor_index,
     implicit_rating,
     top_rated,
@@ -42,6 +43,28 @@ class TestValidateScore:
     @given(st.floats(min_value=-1.0, max_value=1.0, allow_nan=False))
     def test_property_full_scale_accepted(self, value):
         assert validate_score(value) == value
+
+
+class TestClampScore:
+    @pytest.mark.parametrize("value", [-1.0, -0.5, 0.0, 0.5, 1.0])
+    def test_in_range_unchanged(self, value):
+        assert clamp_score(value) == value
+
+    @pytest.mark.parametrize(
+        ("value", "expected"),
+        [(1.001, 1.0), (7.5, 1.0), (float("inf"), 1.0),
+         (-1.001, -1.0), (-7.5, -1.0), (float("-inf"), -1.0)],
+    )
+    def test_out_of_range_clamped(self, value, expected):
+        assert clamp_score(value) == expected
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            clamp_score(float("nan"))
+
+    @given(st.floats(allow_nan=False))
+    def test_property_result_always_validates(self, value):
+        assert validate_score(clamp_score(value)) == clamp_score(value)
 
 
 class TestAgent:

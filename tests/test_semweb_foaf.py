@@ -98,6 +98,41 @@ class TestAgentHomepage:
         _, trust_out, _ = parse_agent_homepage(graph)
         assert trust_out == []
 
+    def test_nan_trust_value_skipped(self):
+        graph = publish_agent(ALICE, {}, {})
+        from repro.semweb.rdf import BNode
+
+        bad = BNode("bad")
+        graph.add((URIRef(ALICE.uri), TRUST.trusts, bad))
+        graph.add((bad, TRUST.target, URIRef("http://example.org/bob")))
+        graph.add((bad, TRUST.value, Literal(float("nan"))))
+        _, trust_out, _ = parse_agent_homepage(graph)
+        assert trust_out == []
+
+    def test_out_of_range_rating_skipped(self):
+        from repro.semweb.namespace import REPRO
+        from repro.semweb.rdf import BNode
+
+        graph = publish_agent(ALICE, {}, {"isbn:1": 0.5})
+        bad = BNode("badr")
+        graph.add((URIRef(ALICE.uri), REPRO.rates, bad))
+        graph.add((bad, REPRO.product, URIRef("isbn:2")))
+        graph.add((bad, REPRO.value, Literal(9.0)))
+        _, _, ratings_out = parse_agent_homepage(graph)
+        assert [(r.product, r.value) for r in ratings_out] == [("isbn:1", 0.5)]
+
+    def test_nan_rating_skipped(self):
+        from repro.semweb.namespace import REPRO
+        from repro.semweb.rdf import BNode
+
+        graph = publish_agent(ALICE, {}, {})
+        bad = BNode("badr")
+        graph.add((URIRef(ALICE.uri), REPRO.rates, bad))
+        graph.add((bad, REPRO.product, URIRef("isbn:2")))
+        graph.add((bad, REPRO.value, Literal(float("nan"))))
+        _, _, ratings_out = parse_agent_homepage(graph)
+        assert ratings_out == []
+
     def test_agent_without_name(self):
         anon = Agent(uri="http://example.org/anon")
         agent, _, _ = parse_agent_homepage(publish_agent(anon, {}, {}))

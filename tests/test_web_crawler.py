@@ -88,6 +88,45 @@ class TestCrawl:
         assert crawler.clock == 2
 
 
+class TestIngestionClamping:
+    """Crawled trust weights are untrusted input (§3.2/§4): the crawler
+    clamps stated values onto [-1, +1] and drops NaN statements."""
+
+    def _homepage(self, value):
+        from repro.semweb.namespace import FOAF, TRUST
+        from repro.semweb.rdf import BNode, Graph, Literal, URIRef
+        from repro.semweb.serializer import serialize_ntriples
+
+        alice, bob = URIRef(ALICE), URIRef("http://example.org/bob")
+        graph = Graph()
+        graph.add((alice, FOAF.knows, bob))
+        statement = BNode("t0")
+        graph.add((alice, TRUST.trusts, statement))
+        graph.add((statement, TRUST.target, bob))
+        graph.add((statement, TRUST.value, Literal(value)))
+        return serialize_ntriples(graph)
+
+    def _weights(self, value):
+        crawler = Crawler(web=SimulatedWeb())
+        return dict(
+            crawler._extract_weighted_links(ALICE, self._homepage(value), [])
+        )
+
+    def test_in_range_weight_kept(self):
+        assert self._weights(0.8) == {"http://example.org/bob": 0.8}
+
+    def test_overlarge_weight_clamped_to_upper_bound(self):
+        assert self._weights(7.5) == {"http://example.org/bob": 1.0}
+
+    def test_negative_weight_clamped_to_lower_bound(self):
+        assert self._weights(-3.0) == {"http://example.org/bob": -1.0}
+
+    def test_nan_weight_dropped_to_knows_default(self):
+        # The foaf:knows link survives with the implicit 0.0 weight; the
+        # NaN trust statement itself is discarded.
+        assert self._weights(float("nan")) == {"http://example.org/bob": 0.0}
+
+
 class TestTrustPrioritizedCrawl:
     def _weighted_web(self):
         """alice trusts bob strongly (0.9) and carol weakly (0.1); both

@@ -97,6 +97,28 @@ class TestLinkMiner:
         html = '<span class="blam-rating" data-isbn="isbn:1" data-value="3.5"></span>'
         assert LinkMiner().mine("agent:a", html) == []
 
+    def test_negative_out_of_range_explicit_skipped(self):
+        html = '<span class="blam-rating" data-isbn="isbn:1" data-value="-2.0"></span>'
+        assert LinkMiner().mine("agent:a", html) == []
+
+    def test_nan_explicit_never_mined(self):
+        # The annotation regex only matches decimal literals, and the
+        # shared validate_score gate rejects NaN besides — either way a
+        # "nan" value must not become a rating.
+        html = '<span class="blam-rating" data-isbn="isbn:1" data-value="nan"></span>'
+        assert LinkMiner().mine("agent:a", html) == []
+
+    def test_boundary_explicit_values_kept(self):
+        html = (
+            '<span class="blam-rating" data-isbn="isbn:1" data-value="-1.0"></span>'
+            '<span class="blam-rating" data-isbn="isbn:2" data-value="1.0"></span>'
+        )
+        mined = LinkMiner().mine("agent:a", html)
+        assert [(r.product, r.value) for r in mined] == [
+            ("isbn:1", -1.0),
+            ("isbn:2", 1.0),
+        ]
+
     def test_unknown_products_recorded_unmapped(self):
         miner = LinkMiner(known_products=frozenset({"isbn:known"}))
         html = render_weblog(
