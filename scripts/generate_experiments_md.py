@@ -11,12 +11,12 @@ Usage:  python scripts/generate_experiments_md.py [output-path]
 from __future__ import annotations
 
 import sys
-import time
 from pathlib import Path
 
 from repro.evaluation import experiments as ex
 from repro.evaluation import experiments_chaos as ex_chaos
 from repro.evaluation import experiments_ext as ex_ext
+from repro.obs import Stopwatch
 
 HEADER = """\
 # EXPERIMENTS — paper vs. measured
@@ -327,7 +327,8 @@ replicas, quarantined downloads) account for every masked failure.""",
 
 def main() -> None:
     output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("EXPERIMENTS.md")
-    start = time.time()
+    total = Stopwatch()
+    total.start()
     community = ex.default_community()
     parts = [HEADER]
     standalone = {
@@ -342,18 +343,18 @@ def main() -> None:
             or getattr(ex_ext, func_name, None)
             or getattr(ex_chaos, func_name)
         )
-        t0 = time.time()
-        if func_name in standalone:
-            table = func()
-        else:
-            table = func(community)
-        elapsed = time.time() - t0
-        print(f"{func_name}: {elapsed:.1f}s")
+        watch = Stopwatch()
+        with watch:
+            if func_name in standalone:
+                table = func()
+            else:
+                table = func(community)
+        print(f"{func_name}: {watch.elapsed:.1f}s")
         parts.append(f"## {title}\n")
         parts.append(commentary + "\n")
         parts.append("```\n" + table.render() + "\n```\n")
     parts.append(
-        f"\n*Generated in {time.time() - start:.0f}s by "
+        f"\n*Generated in {total.elapsed:.0f}s by "
         "`python scripts/generate_experiments_md.py`.*\n"
     )
     output.write_text("\n".join(parts), encoding="utf-8")

@@ -16,7 +16,12 @@ orchestration sit on top::
             │    │        │      semweb│
             └────┴────┬───┴────────┴───┘
                     core                         ── §3.1 model + pipeline
+                     obs                         ── tracing / metrics
                   (analysis: self-contained)
+
+``obs`` (tracing, metrics, the monotonic stopwatch) sits *below* core:
+instrumentation must be importable from every layer without creating an
+upward edge, and it depends on nothing but the standard library.
 
 A contract names, for each layer, the set of *internal* layers it may
 import at module scope.  Violations are RL100 findings anchored at the
@@ -57,7 +62,17 @@ __all__ = [
 #: Every layer below the orchestration tier, for the layers allowed to
 #: import anything.
 _SUBSYSTEMS = frozenset(
-    {"core", "trust", "perf", "semweb", "web", "datasets", "evaluation", "analysis"}
+    {
+        "obs",
+        "core",
+        "trust",
+        "perf",
+        "semweb",
+        "web",
+        "datasets",
+        "evaluation",
+        "analysis",
+    }
 )
 
 
@@ -75,18 +90,21 @@ class LayerContract:
     package: str = ROOT_PACKAGE
     allowed: dict[str, frozenset[str]] = field(
         default_factory=lambda: {
-            # The §3.1 information model and pipeline math: no internal deps.
-            "core": frozenset(),
+            # Tracing/metrics/stopwatch: stdlib only, importable from all.
+            "obs": frozenset(),
+            # The §3.1 information model and pipeline math; may emit
+            # telemetry but depends on no other subsystem.
+            "core": frozenset({"obs"}),
             # Trust metrics operate on core's models and score contract.
-            "trust": frozenset({"core"}),
+            "trust": frozenset({"core", "obs"}),
             # The vectorized engines reproduce core's numeric conventions.
-            "perf": frozenset({"core"}),
+            "perf": frozenset({"core", "obs"}),
             # RDF/FOAF documents serialize core models.
-            "semweb": frozenset({"core"}),
+            "semweb": frozenset({"core", "obs"}),
             # The simulated Web ingests documents into core models.
-            "web": frozenset({"core", "semweb"}),
+            "web": frozenset({"core", "semweb", "obs"}),
             # Synthetic stand-ins for the crawled §4 datasets.
-            "datasets": frozenset({"core"}),
+            "datasets": frozenset({"core", "obs"}),
             # reprolint/reprograph: self-contained, imports nothing internal.
             "analysis": frozenset(),
             # Experiments drive every subsystem.

@@ -25,6 +25,11 @@ section or inter-subsystem contract it protects:
 ``RL006``  trust/rating literal outside ``[-1, +1]`` — the paper's §3.1
            range invariant for ``T`` and ``R``; out-of-range literals
            raise at runtime (or worse, silently skew energy flows)
+``RL007``  wall-clock duration — ``time.time()`` is subject to NTP
+           steps and DST jumps, so timing EX tables with it produces
+           unreproducible (occasionally negative) durations; durations
+           must come from the monotonic clock via
+           :class:`repro.obs.Stopwatch` (or ``time.perf_counter``)
 ========  ==============================================================
 
 The whole-program (reprograph) rules live next door and are registered
@@ -66,6 +71,7 @@ __all__ = [
     "SilentOverbroadExceptRule",
     "UnseededRandomRule",
     "UnsortedSetIterationRule",
+    "WallClockDurationRule",
     "all_rule_codes",
 ]
 
@@ -434,6 +440,38 @@ class ScoreLiteralRangeRule(Rule):
                     )
 
 
+class WallClockDurationRule(Rule):
+    """RL007: ``time.time()`` used where a duration is being measured.
+
+    The wall clock is not monotonic — NTP corrections and DST moves can
+    step it backwards mid-run — so differences of ``time.time()`` values
+    make EX tables unreproducible and occasionally negative.  Durations
+    belong on the monotonic clock: :class:`repro.obs.Stopwatch` (the
+    repo's single timing helper) or ``time.perf_counter()`` directly.
+    ``time.time()`` is flagged wherever it is *called*; code that
+    genuinely needs a calendar timestamp (none in this repo does) can
+    suppress with ``# reprolint: disable=RL007``.
+    """
+
+    code = "RL007"
+    summary = "time.time() for durations; use repro.obs.Stopwatch"
+
+    _WALL_CLOCKS = frozenset({"time.time"})
+
+    def check(self, tree: ast.Module, context: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            if name in self._WALL_CLOCKS:
+                yield self.finding(
+                    node,
+                    context,
+                    f"{name}() reads the non-monotonic wall clock; measure "
+                    "durations with repro.obs.Stopwatch (monotonic) instead",
+                )
+
+
 DEFAULT_RULES: tuple[Rule, ...] = (
     UnseededRandomRule(),
     FloatEqualityOnScoresRule(),
@@ -441,6 +479,7 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     MutableDefaultArgRule(),
     UnsortedSetIterationRule(),
     ScoreLiteralRangeRule(),
+    WallClockDurationRule(),
 )
 
 #: Whole-program rules `repro lint` runs alongside the per-file set.

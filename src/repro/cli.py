@@ -15,6 +15,14 @@ Installed as the ``repro`` console script.  Subcommands:
 * ``repro lint``       — reprolint + reprograph, the static-analysis pass
   (score ranges, seeded randomness, tolerance comparisons; see
   ``docs/ANALYSIS.md``)
+* ``repro trace``      — inspect observability artifacts:
+  ``repro trace summarize FILE`` validates a JSONL trace and prints the
+  slowest spans and per-name rollups
+
+``recommend``, ``crawl`` and ``experiment`` accept ``--trace FILE``
+(write a JSONL span tree of the run) and ``--metrics`` (print the
+counter/histogram summary after the command output); both default off,
+leaving the near-zero-cost :class:`~repro.obs.NullTracer` bound.
 
 Every command works off the JSONL snapshot format of
 :mod:`repro.datasets.io`, so pipelines compose through files::
@@ -29,7 +37,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 from .core.neighborhood import NeighborhoodFormation
 from .core.profiles import TaxonomyProfileBuilder
@@ -44,6 +52,16 @@ from .core.recommender import (
 from .datasets.amazon import book_taxonomy_config
 from .datasets.generators import CommunityConfig, generate_community
 from .datasets.io import load_dataset, load_taxonomy, save_dataset, save_taxonomy
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    collecting,
+    get_tracer,
+    load_trace,
+    summarize_trace,
+    tracing,
+    validate_trace,
+)
 from .trust.advogato import Advogato
 from .trust.appleseed import Appleseed
 from .trust.graph import TrustGraph
@@ -117,6 +135,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="similarity engine for hybrid/cf (results are identical; "
              "numpy is faster at community scale)",
     )
+    _add_obs_arguments(recommend)
 
     trust = sub.add_parser("trust", help="compute a trust neighborhood")
     trust.add_argument("--data", required=True)
@@ -128,13 +147,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="run one experiment table")
     experiment.add_argument("id", choices=sorted(_EXPERIMENTS), metavar="ID",
-                            help="EX01..EX19")
+                            type=str.upper, help="EX01..EX19 (case-insensitive)")
     experiment.add_argument(
         "--parallel", type=int, default=None, metavar="N",
         help="worker processes for per-user fan-out "
              f"({', '.join(sorted(_PARALLELIZABLE))} only); "
              "tables are identical to serial runs",
     )
+    _add_obs_arguments(experiment)
 
     demo = sub.add_parser(
         "demo",
@@ -161,12 +181,13 @@ def _build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--split-channels", action="store_true",
                        help="publish trust on homepages, ratings on weblogs")
     _add_fault_arguments(crawl)
+    _add_obs_arguments(crawl)
 
     lint = sub.add_parser(
         "lint",
         help=(
             "reprolint: domain-aware static analysis "
-            "(RL001..RL006 file rules + RL100..RL104 graph rules)"
+            "(RL001..RL007 file rules + RL100..RL104 graph rules)"
         ),
     )
     lint.add_argument("paths", nargs="+",
@@ -184,6 +205,16 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
 
+    trace = sub.add_parser("trace", help="inspect a JSONL trace file")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="validate a trace and print slowest spans + per-name rollups",
+    )
+    summarize.add_argument("file", help="JSONL trace written by --trace")
+    summarize.add_argument("--top", type=int, default=10, metavar="N",
+                           help="how many slowest spans to show")
+
     return parser
 
 
@@ -199,6 +230,14 @@ def _nonnegative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be non-negative, got {text}")
     return value
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared observability knobs: trace export and metrics summary."""
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a JSONL span trace of the run to FILE")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics summary after the output")
 
 
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
@@ -280,7 +319,10 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     else:
         recommender = RandomRecommender(dataset=dataset)
     print(f"agent: {agent}")
-    recommendations = recommender.recommend(agent, limit=args.limit)
+    with get_tracer().span(
+        "recommend.query", agent=agent, method=args.method, limit=args.limit
+    ):
+        recommendations = recommender.recommend(agent, limit=args.limit)
     if not recommendations:
         print("no recommendations (empty neighborhood or no votable products)")
         return 1
@@ -337,10 +379,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         from .perf.parallel import ParallelExperimentRunner
 
         kwargs["runner"] = ParallelExperimentRunner(max_workers=args.parallel)
-    if needs_community:
-        table = func(experiments.default_community(), **kwargs)
-    else:
-        table = func(**kwargs)
+    with get_tracer().span(f"experiment.{args.id}"):
+        if needs_community:
+            table = func(experiments.default_community(), **kwargs)
+        else:
+            table = func(**kwargs)
     print(table.render())
     return 0
 
@@ -470,6 +513,49 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Validate and summarize a JSONL trace (``repro trace summarize``)."""
+    try:
+        records = load_trace(args.file)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    problems = validate_trace(records)
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 2
+    print(summarize_trace(records, top=args.top))
+    return 0
+
+
+def _with_observability(args: argparse.Namespace, run: Callable[[], int]) -> int:
+    """Run a handler under ``--trace`` / ``--metrics`` bindings.
+
+    With neither flag the handler runs against the default
+    :class:`~repro.obs.NullTracer` — instrumented code pays only a
+    no-op call.  With flags, a fresh :class:`~repro.obs.Tracer` /
+    :class:`~repro.obs.MetricsRegistry` is bound for the duration, the
+    trace is written after the run (even a failing one, so partial
+    traces aid debugging), and the metrics summary prints last.
+    """
+    if args.trace is None and not args.metrics:
+        return run()
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    try:
+        with tracing(tracer), collecting(registry):
+            code = run()
+    finally:
+        if args.trace is not None:
+            written = tracer.write_jsonl(args.trace)
+            print(f"trace: wrote {written} spans to {args.trace}")
+    if args.metrics:
+        print()
+        print(registry.render_summary())
+    return code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -482,8 +568,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         "demo": _cmd_demo,
         "crawl": _cmd_crawl,
         "lint": _cmd_lint,
+        "trace": _cmd_trace,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if hasattr(args, "trace") and args.command != "trace":
+        return _with_observability(args, lambda: handler(args))
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

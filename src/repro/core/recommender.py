@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..perf.matrix import ProfileMatrix
 
+from ..obs import get_metrics
 from ..trust.graph import TrustGraph
 from .models import Dataset
 from .neighborhood import NeighborhoodFormation, TrustNeighborhood
@@ -102,8 +103,11 @@ class ProfileStore:
         if self._matrix is None:
             from ..perf.matrix import ProfileMatrix
 
+            get_metrics().counter("similarity.matrix_cache.miss").inc()
             profiles = {agent: self.profile(agent) for agent in self.dataset.agents}
             self._matrix = ProfileMatrix.from_profiles(profiles)
+        else:
+            get_metrics().counter("similarity.matrix_cache.hit").inc()
         return self._matrix
 
     def invalidate(self, agent: str | None = None) -> None:

@@ -14,7 +14,6 @@ to finish in seconds.
 from __future__ import annotations
 
 import random
-import time
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
@@ -41,6 +40,7 @@ from ..core.synthesis import BordaCount, LinearBlend, Multiplicative, TrustFilte
 from ..core.taxonomy import Taxonomy, figure1_fragment
 from ..datasets.amazon import book_taxonomy_config, dvd_taxonomy_config
 from ..datasets.generators import CommunityConfig, SyntheticCommunity, generate_community
+from ..obs import Stopwatch, get_tracer
 from ..trust.advogato import Advogato
 from ..trust.appleseed import Appleseed
 from ..trust.graph import TrustGraph
@@ -90,7 +90,10 @@ def default_community(
         seed=seed,
         taxonomy=book_taxonomy_config(target_topics=800, seed=seed),
     )
-    return generate_community(config)
+    with get_tracer().span(
+        "community.generate", agents=n_agents, products=n_products, seed=seed
+    ):
+        return generate_community(config)
 
 
 # ---------------------------------------------------------------------------
@@ -227,11 +230,16 @@ def run_ex03_appleseed_convergence(
                 metric = Appleseed(
                     spreading_factor=d, convergence_threshold=threshold
                 )
-                for source in sources:
-                    result = metric.compute(graph, source, injection)
-                    iterations.append(result.iterations)
-                    sizes.append(len(result.neighborhood(0.1)))
-                    peaks.append(max(result.ranks.values(), default=0.0))
+                with get_tracer().span(
+                    "ex03.config", d=d, T_c=threshold, injection=injection
+                ) as span:
+                    for source in sources:
+                        result = metric.compute(graph, source, injection)
+                        iterations.append(result.iterations)
+                        sizes.append(len(result.neighborhood(0.1)))
+                        peaks.append(max(result.ranks.values(), default=0.0))
+                    span.set("sources", len(sources))
+                    span.set("total_iterations", int(sum(iterations)))
                 table.add_row(
                     d,
                     threshold,
@@ -608,10 +616,11 @@ def run_ex08_scalability(
             store.profile(agent)
 
         def time_per_query(recommender: Recommender) -> float:
-            start = time.perf_counter()
-            for agent in agents:
-                recommender.recommend(agent, limit=10)
-            return (time.perf_counter() - start) / len(agents) * 1000.0
+            watch = Stopwatch()
+            with watch:
+                for agent in agents:
+                    recommender.recommend(agent, limit=10)
+            return watch.elapsed_ms / len(agents)
 
         hybrid_ms = time_per_query(hybrid)
         cf_ms = time_per_query(cf)

@@ -15,13 +15,12 @@ absolute score disagreement (must stay below 1e-9).
 
 from __future__ import annotations
 
-import time
-
 from ..core.profiles import TaxonomyProfileBuilder
 from ..core.recommender import ProfileStore
 from ..core.similarity import top_similar
 from ..datasets.amazon import book_taxonomy_config
 from ..datasets.generators import CommunityConfig, generate_community
+from ..obs import Stopwatch, get_tracer
 from ..perf.engine import numpy_available
 from .protocol import Table
 
@@ -67,26 +66,34 @@ def run_ex19_engine(
         profiles = {agent: store.profile(agent) for agent in agents}
         targets = agents[:principals]
 
-        start = time.perf_counter()
-        python_rankings = [
-            top_similar(
-                profiles[agent],
-                profiles,
-                measure=measure,
-                domain=domain,
-                engine="python",
-            )
-            for agent in targets
-        ]
-        python_ms = (time.perf_counter() - start) / len(targets) * 1000.0
+        with get_tracer().span("ex19.size", agents=size) as span:
+            python_watch = Stopwatch()
+            with python_watch:
+                python_rankings = [
+                    top_similar(
+                        profiles[agent],
+                        profiles,
+                        measure=measure,
+                        domain=domain,
+                        engine="python",
+                    )
+                    for agent in targets
+                ]
+            python_ms = python_watch.elapsed_ms / len(targets)
 
-        start = time.perf_counter()
-        matrix = ProfileMatrix.from_profiles(profiles)
-        numpy_scores = [
-            community_scores(profiles[agent], matrix, measure=measure, domain=domain)
-            for agent in targets
-        ]
-        numpy_ms = (time.perf_counter() - start) / len(targets) * 1000.0
+            numpy_watch = Stopwatch()
+            with numpy_watch:
+                matrix = ProfileMatrix.from_profiles(profiles)
+                numpy_scores = [
+                    community_scores(
+                        profiles[agent], matrix, measure=measure, domain=domain
+                    )
+                    for agent in targets
+                ]
+            numpy_ms = numpy_watch.elapsed_ms / len(targets)
+            # Wall-clock numbers stay out of span attrs: same-seed traces
+            # must be identical modulo the duration_ms field alone.
+            span.set("principals", len(targets))
 
         max_delta = 0.0
         for ranking, scores in zip(python_rankings, numpy_scores):

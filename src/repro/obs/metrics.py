@@ -1,0 +1,263 @@
+"""Counters, gauges, and fixed-bucket histograms for the whole stack.
+
+A :class:`MetricsRegistry` is a flat, named collection of three
+instrument kinds — deliberately the minimal subset of the Prometheus
+model that the reproduction needs:
+
+* :class:`Counter` — monotonically increasing totals (sweeps run,
+  cache hits, breaker trips);
+* :class:`Gauge` — last-written values (workers in use, community
+  size);
+* :class:`Histogram` — fixed cumulative buckets plus sum and count
+  (neighborhood sizes, per-query latencies).  Buckets are fixed at
+  creation so two runs aggregate identically.
+
+Exporters: :meth:`MetricsRegistry.to_prometheus` renders the standard
+text exposition format (``# TYPE`` lines, ``_bucket``/``_sum``/
+``_count`` series), :meth:`MetricsRegistry.render_summary` a human
+console table.  Metric *names* use dotted paths (``appleseed.sweeps``);
+the Prometheus exporter mangles them to legal identifiers.
+
+Everything here is deterministic: iteration is sorted by name, floats
+render via ``repr``-stable formatting, and no wall-clock value is ever
+recorded implicitly.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram upper bounds: a coarse log scale that serves both
+#: size-like (neighborhood members) and duration-like (milliseconds)
+#: observations without per-metric tuning.
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed cumulative buckets plus running sum and count."""
+
+    __slots__ = ("buckets", "counts", "name", "observations", "total")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not buckets:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError(f"histogram {name}: buckets must be strictly increasing")
+        self.name = name
+        self.buckets = tuple(float(bound) for bound in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # final slot: +Inf
+        self.total = 0.0
+        self.observations = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its (cumulative) bucket."""
+        if math.isnan(value):
+            raise ValueError(f"histogram {self.name}: NaN observation")
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.observations += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper bound, cumulative count)`` pairs, +Inf last."""
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((math.inf, running + self.counts[-1]))
+        return pairs
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.observations if self.observations else 0.0
+
+
+def _prometheus_name(name: str) -> str:
+    """A legal Prometheus identifier for a dotted metric name."""
+    mangled = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if mangled and mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled or "_"
+
+
+def _format_value(value: float) -> str:
+    """Integer-valued floats render as integers; others via repr."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class MetricsRegistry:
+    """A named, flat collection of counters, gauges, and histograms.
+
+    Instruments are created on first use (``registry.counter(name)``)
+    and live for the registry's lifetime.  Asking for an existing name
+    with a different instrument kind raises — one name, one kind.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access ---------------------------------------------------
+
+    def _check_kind(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other, table in owners.items():
+            if other != kind and name in table:
+                raise ValueError(f"metric {name!r} already registered as a {other}")
+
+    def counter(self, name: str) -> Counter:
+        existing = self._counters.get(name)
+        if existing is None:
+            self._check_kind(name, "counter")
+            existing = self._counters[name] = Counter(name)
+        return existing
+
+    def gauge(self, name: str) -> Gauge:
+        existing = self._gauges.get(name)
+        if existing is None:
+            self._check_kind(name, "gauge")
+            existing = self._gauges[name] = Gauge(name)
+        return existing
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        existing = self._histograms.get(name)
+        if existing is None:
+            self._check_kind(name, "histogram")
+            existing = self._histograms[name] = Histogram(name, buckets)
+        return existing
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh registry without rebinding)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """A JSON-ready snapshot of every instrument, sorted by name."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "buckets": list(histogram.buckets),
+                    "counts": list(histogram.counts),
+                    "sum": histogram.total,
+                    "count": histogram.observations,
+                }
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def to_prometheus(self) -> str:
+        """The text exposition format, instruments sorted by name."""
+        lines: list[str] = []
+        for name, counter in sorted(self._counters.items()):
+            identifier = _prometheus_name(name)
+            lines.append(f"# TYPE {identifier} counter")
+            lines.append(f"{identifier} {_format_value(counter.value)}")
+        for name, gauge in sorted(self._gauges.items()):
+            identifier = _prometheus_name(name)
+            lines.append(f"# TYPE {identifier} gauge")
+            lines.append(f"{identifier} {_format_value(gauge.value)}")
+        for name, histogram in sorted(self._histograms.items()):
+            identifier = _prometheus_name(name)
+            lines.append(f"# TYPE {identifier} histogram")
+            for bound, cumulative in histogram.cumulative():
+                label = "+Inf" if math.isinf(bound) else _format_value(bound)
+                lines.append(
+                    f'{identifier}_bucket{{le="{label}"}} {cumulative}'
+                )
+            lines.append(f"{identifier}_sum {_format_value(histogram.total)}")
+            lines.append(f"{identifier}_count {histogram.observations}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_summary(self) -> str:
+        """A human console summary: one aligned section per kind."""
+        sections: list[str] = []
+        if self._counters:
+            width = max(len(name) for name in self._counters)
+            rows = [
+                f"  {name.ljust(width)}  {_format_value(counter.value)}"
+                for name, counter in sorted(self._counters.items())
+            ]
+            sections.append("counters:\n" + "\n".join(rows))
+        if self._gauges:
+            width = max(len(name) for name in self._gauges)
+            rows = [
+                f"  {name.ljust(width)}  {_format_value(gauge.value)}"
+                for name, gauge in sorted(self._gauges.items())
+            ]
+            sections.append("gauges:\n" + "\n".join(rows))
+        if self._histograms:
+            width = max(len(name) for name in self._histograms)
+            rows = [
+                f"  {name.ljust(width)}  count={histogram.observations}"
+                f" sum={_format_value(round(histogram.total, 4))}"
+                f" mean={histogram.mean:.3f}"
+                for name, histogram in sorted(self._histograms.items())
+            ]
+            sections.append("histograms:\n" + "\n".join(rows))
+        if not sections:
+            return "metrics: none recorded"
+        return "\n".join(sections)

@@ -1,0 +1,109 @@
+"""Human rendering of a JSONL trace: slowest spans + per-name rollups.
+
+Backs ``repro trace summarize FILE``.  Input records must already have
+passed :func:`repro.obs.trace.validate_trace`; rendering assumes the
+schema holds.
+
+The two views answer the two questions a trace exists for:
+
+* *where did the time go* — the top-N slowest spans, with their path
+  from the root (``experiment.EX03 > ex03.config > appleseed.compute``)
+  so a hot leaf is attributable without reading raw JSON;
+* *what ran how often* — per-name aggregates (count, total, mean, max),
+  the span-tree analogue of a metrics summary.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["summarize_trace"]
+
+#: Attributes surfaced inline for a slow span (kept short on purpose).
+_HIGHLIGHT_ATTRS = ("source", "kind", "iterations", "converged", "fetched", "agents", "d")
+
+
+def _span_path(
+    record: dict[str, Any], by_id: dict[int, dict[str, Any]], limit: int = 4
+) -> str:
+    """``root > … > span`` name path, elided in the middle when deep."""
+    names: list[str] = []
+    cursor: dict[str, Any] | None = record
+    while cursor is not None:
+        names.append(cursor["name"])
+        parent = cursor["parent"]
+        cursor = by_id.get(parent) if parent is not None else None
+    names.reverse()
+    if len(names) > limit:
+        names = names[:1] + ["…"] + names[-(limit - 2):]
+    return " > ".join(names)
+
+
+def _format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Minimal aligned text table (obs sits below core; no Table import)."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+    rule = "  ".join("-" * width for width in widths)
+    return "\n".join([line(headers), rule, *[line(row) for row in rows]])
+
+
+def summarize_trace(records: list[dict[str, Any]], top: int = 10) -> str:
+    """Render the console summary of validated span *records*."""
+    if not records:
+        return "trace: empty (0 spans)"
+    by_id = {record["id"]: record for record in records}
+    roots = sum(1 for record in records if record["parent"] is None)
+    total_ms = sum(
+        record["duration_ms"] for record in records if record["parent"] is None
+    )
+    lines = [
+        f"trace: {len(records)} spans, {roots} roots, "
+        f"{total_ms:.1f} ms total root time",
+        "",
+        f"top {min(top, len(records))} slowest spans:",
+    ]
+
+    slowest = sorted(
+        records, key=lambda record: (-record["duration_ms"], record["id"])
+    )[:top]
+    rows = []
+    for record in slowest:
+        attrs = record["attrs"]
+        highlights = ", ".join(
+            f"{key}={attrs[key]}" for key in _HIGHLIGHT_ATTRS if key in attrs
+        )
+        rows.append(
+            [
+                f"{record['duration_ms']:.2f}",
+                str(record["id"]),
+                _span_path(record, by_id),
+                highlights,
+            ]
+        )
+    lines.append(_format_table(["ms", "id", "span", "attrs"], rows))
+
+    aggregates: dict[str, list[float]] = {}
+    for record in records:
+        entry = aggregates.setdefault(record["name"], [0.0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += record["duration_ms"]
+        entry[2] = max(entry[2], record["duration_ms"])
+    lines += ["", "by span name:"]
+    name_rows = [
+        [
+            name,
+            f"{int(count)}",
+            f"{total:.2f}",
+            f"{total / count:.3f}",
+            f"{peak:.2f}",
+        ]
+        for name, (count, total, peak) in sorted(aggregates.items())
+    ]
+    lines.append(
+        _format_table(["name", "count", "total ms", "mean ms", "max ms"], name_rows)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,291 @@
+"""Structured tracing: nested, reproducible span trees.
+
+A :class:`Span` is one timed operation with a name, a parent, and a dict
+of attributes; a :class:`Tracer` collects the spans of one run into a
+tree.  Two properties make traces usable as *evidence* rather than mere
+logs:
+
+* **Reproducible identity.**  Span ids are assigned sequentially in
+  start order and parents come from an explicit span stack, so two runs
+  of the same seeded computation produce byte-identical traces — except
+  for the ``duration_ms`` field, the only place wall time may appear.
+  Nothing clock-derived (timestamps, PIDs, object ids) enters a span's
+  identity or attributes.
+* **Zero-cost opt-out.**  :class:`NullTracer` hands out one shared
+  :class:`NullSpan` whose every operation is a no-op, so instrumented
+  hot paths pay a single method call when tracing is disabled.
+
+Durations are measured with :func:`time.perf_counter` (monotonic);
+``time.time`` is banned for durations throughout the reproduction
+(reprolint ``RL007``).
+
+The on-disk format is JSONL: one span object per line, in start order::
+
+    {"attrs": {...}, "duration_ms": 0.173, "id": 2, "name": "appleseed.compute", "parent": 1}
+
+:func:`validate_trace` checks that shape (the "span schema") and is what
+``repro trace summarize`` and the CI smoke job run before trusting a
+file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from types import TracebackType
+from typing import Any
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "SPAN_FIELDS",
+    "Span",
+    "Tracer",
+    "load_trace",
+    "strip_durations",
+    "validate_trace",
+]
+
+#: The exact key set of one JSONL span record.
+SPAN_FIELDS = ("attrs", "duration_ms", "id", "name", "parent")
+
+
+def _jsonify(value: Any) -> Any:
+    """Coerce an attribute value into a JSON-stable shape.
+
+    Tuples and sets become sorted/ordered lists, mappings become plain
+    dicts, and anything non-primitive falls back to ``str`` — attributes
+    must never make a trace unserializable or nondeterministic.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonify(item) for item in value)
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    return str(value)
+
+
+class Span:
+    """One traced operation; use as a context manager.
+
+    Attributes may be set while the span is open *or after it closed*
+    (a common pattern: close the timed region, then annotate it with the
+    report the region produced).  Only :meth:`__exit__` touches the
+    clock, and only to compute ``duration_ms``.
+    """
+
+    __slots__ = ("attrs", "duration_ms", "name", "parent_id", "span_id", "_started", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0  # assigned at __enter__
+        self.parent_id: int | None = None
+        self.duration_ms = 0.0
+        self._started = 0.0
+        self._tracer = tracer
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute; values are coerced to JSON-stable shapes."""
+        self.attrs[key] = _jsonify(value)
+
+    def __enter__(self) -> "Span":
+        self._tracer._start(self)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.duration_ms = (time.perf_counter() - self._started) * 1000.0
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._finish(self)
+
+    def to_record(self) -> dict[str, Any]:
+        """The JSONL record for this span."""
+        return {
+            "attrs": {key: _jsonify(value) for key, value in self.attrs.items()},
+            "duration_ms": round(self.duration_ms, 4),
+            "id": self.span_id,
+            "name": self.name,
+            "parent": self.parent_id,
+        }
+
+
+class Tracer:
+    """Collects one run's spans into a reproducible tree.
+
+    Not thread-safe by design: a tracer belongs to one run in one
+    process.  Spans started in pool workers simply land in the worker's
+    (usually null) tracer and are not merged.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span; enter it with ``with`` to start the clock."""
+        return Span(self, name, {key: _jsonify(value) for key, value in attrs.items()})
+
+    # -- span lifecycle (called by Span) ------------------------------------
+
+    def _start(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        self._stack.append(span)
+        self.spans.append(span)  # start order == id order
+
+    def _finish(self, span: Span) -> None:
+        # Tolerate exits out of order (an exception unwound past inner
+        # spans): pop everything above the finishing span.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    # -- export -------------------------------------------------------------
+
+    def records(self) -> list[dict[str, Any]]:
+        """All span records in start order."""
+        return [span.to_record() for span in self.spans]
+
+    def to_jsonl(self) -> str:
+        """The JSONL document: one span per line, keys sorted."""
+        return "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in self.records()
+        )
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Write the trace to *path*; returns the number of spans."""
+        Path(path).write_text(self.to_jsonl(), encoding="utf-8")
+        return len(self.spans)
+
+
+class NullSpan:
+    """The do-nothing span; one shared instance serves every call site."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        pass
+
+
+class NullTracer:
+    """The disabled tracer: every ``span()`` is the shared no-op span.
+
+    Instrumented code never branches on whether tracing is on; it always
+    opens a span, and this class makes that nearly free.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> NullSpan:
+        return NULL_SPAN
+
+
+#: Module-wide singletons: there is never a reason for a second one.
+NULL_SPAN = NullSpan()
+NULL_TRACER = NullTracer()
+
+
+def load_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file into span records.
+
+    Raises :class:`ValueError` naming the offending line when a line is
+    not valid JSON; schema problems are :func:`validate_trace`'s job.
+    """
+    records: list[dict[str, Any]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}:{number}: not valid JSON: {error}") from error
+    return records
+
+
+def validate_trace(records: list[dict[str, Any]]) -> list[str]:
+    """Check span records against the span schema; returns error strings.
+
+    The schema: every record carries exactly :data:`SPAN_FIELDS`; ``id``
+    is a positive integer unique within the trace and records appear in
+    ascending id order; ``parent`` is ``None`` (a root) or the id of an
+    *earlier* span; ``name`` is a non-empty string; ``attrs`` is an
+    object; ``duration_ms`` is a non-negative number.
+    """
+    errors: list[str] = []
+    seen: set[int] = set()
+    previous_id = 0
+    for index, record in enumerate(records, start=1):
+        where = f"span {index}"
+        if not isinstance(record, dict):
+            errors.append(f"{where}: record is not an object")
+            continue
+        if tuple(sorted(record)) != SPAN_FIELDS:
+            errors.append(
+                f"{where}: keys {sorted(record)} != expected {list(SPAN_FIELDS)}"
+            )
+            continue
+        span_id = record["id"]
+        if not isinstance(span_id, int) or isinstance(span_id, bool) or span_id < 1:
+            errors.append(f"{where}: id {span_id!r} is not a positive integer")
+            continue
+        if span_id in seen:
+            errors.append(f"{where}: duplicate id {span_id}")
+        if span_id <= previous_id:
+            errors.append(f"{where}: id {span_id} out of start order")
+        parent = record["parent"]
+        if parent is not None and (
+            not isinstance(parent, int) or isinstance(parent, bool) or parent not in seen
+        ):
+            errors.append(f"{where}: parent {parent!r} is not an earlier span id")
+        if not isinstance(record["name"], str) or not record["name"]:
+            errors.append(f"{where}: name must be a non-empty string")
+        if not isinstance(record["attrs"], dict):
+            errors.append(f"{where}: attrs must be an object")
+        duration = record["duration_ms"]
+        if isinstance(duration, bool) or not isinstance(duration, (int, float)) or duration < 0:
+            errors.append(f"{where}: duration_ms {duration!r} must be a non-negative number")
+        seen.add(span_id)
+        previous_id = max(previous_id, span_id if isinstance(span_id, int) else previous_id)
+    return errors
+
+
+def strip_durations(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Span records minus ``duration_ms`` — the deterministic remainder.
+
+    Two runs of the same seeded computation must agree exactly on this
+    projection (the property the telemetry tests pin).
+    """
+    return [
+        {key: value for key, value in record.items() if key != "duration_ms"}
+        for record in records
+    ]

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
+from ..obs import get_metrics
+
 __all__ = [
     "AUTO_PACK_THRESHOLD",
     "community_scores",
@@ -63,12 +65,15 @@ def resolve_engine(engine: str = "auto", size: int | None = None) -> str:
     if engine == "numpy":
         if not _HAVE_NUMPY:
             raise RuntimeError("engine='numpy' requested but numpy is not installed")
-        return "numpy"
-    if engine == "python" or not _HAVE_NUMPY:
-        return "python"
-    if size is not None and size < AUTO_PACK_THRESHOLD:
-        return "python"
-    return "numpy"
+        resolved = "numpy"
+    elif engine == "python" or not _HAVE_NUMPY:
+        resolved = "python"
+    elif size is not None and size < AUTO_PACK_THRESHOLD:
+        resolved = "python"
+    else:
+        resolved = "numpy"
+    get_metrics().counter(f"engine.selected.{resolved}").inc()
+    return resolved
 
 
 def _prunable(measure: str, domain: str) -> bool:
@@ -94,14 +99,18 @@ def community_scores(
     restricts kernel work to rows sharing at least one key with the
     target; everyone else scores 0.0 by construction.
     """
+    metrics = get_metrics()
     if _prunable(measure, domain):
         rows = matrix.overlapping_rows(target)
+        metrics.counter("similarity.index_scored").inc(len(rows))
+        metrics.counter("similarity.index_pruned").inc(len(matrix) - len(rows))
         out = np.zeros(len(matrix))
         if len(rows):
             out[rows] = similarity_many(
                 target, matrix, measure=measure, domain=domain, rows=rows
             )
         return out
+    metrics.counter("similarity.index_scored").inc(len(matrix))
     return similarity_many(target, matrix, measure=measure, domain=domain)
 
 

@@ -29,6 +29,8 @@ from dataclasses import dataclass
 from functools import partial
 from typing import TypeVar
 
+from ..obs import get_metrics, get_tracer
+
 __all__ = ["ParallelExperimentRunner", "derive_seed", "split_evenly"]
 
 Item = TypeVar("Item")
@@ -111,12 +113,27 @@ class ParallelExperimentRunner:
         """
         work = list(items)
         workers = self.effective_workers()
-        if self.mode != "process" and (workers <= 1 or len(work) <= 1):
-            return [func(item) for item in work]
-        if self.mode == "serial":
-            return [func(item) for item in work]
-        with ProcessPoolExecutor(max_workers=min(workers, max(1, len(work)))) as pool:
-            return list(pool.map(func, work, chunksize=self.chunksize))
+        serial = self.mode == "serial" or (
+            self.mode != "process" and (workers <= 1 or len(work) <= 1)
+        )
+        pool_workers = 1 if serial else min(workers, max(1, len(work)))
+        # The span and counters are recorded on the parent side only:
+        # pool workers run in fresh processes bound to the null tracer,
+        # so the fan-out appears as one span, never as corrupted nests.
+        with get_tracer().span(
+            "parallel.map",
+            items=len(work),
+            workers=pool_workers,
+            mode="serial" if serial else "process",
+        ):
+            metrics = get_metrics()
+            metrics.counter("parallel.maps").inc()
+            metrics.counter("parallel.items").inc(len(work))
+            metrics.gauge("parallel.workers").set(pool_workers)
+            if serial:
+                return [func(item) for item in work]
+            with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+                return list(pool.map(func, work, chunksize=self.chunksize))
 
     def map_seeded(
         self,

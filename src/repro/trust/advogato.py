@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import get_metrics, get_tracer
+
 from .graph import TrustGraph
 from .maxflow import FlowNetwork
 
@@ -90,6 +92,21 @@ class Advogato:
         """Certify the trust neighborhood of *seed* over *graph*."""
         if seed not in graph:
             raise KeyError(f"unknown seed agent {seed!r}")
+        with get_tracer().span(
+            "advogato.compute", seed=seed, target_size=self.target_size
+        ) as span:
+            result = self._compute_traced(graph, seed)
+        span.set("accepted", len(result.accepted))
+        span.set("total_flow", result.total_flow)
+        span.set("network_size", len(result.capacities))
+        metrics = get_metrics()
+        metrics.counter("advogato.computations").inc()
+        metrics.counter("advogato.accepted").inc(len(result.accepted))
+        metrics.counter("advogato.flow").inc(result.total_flow)
+        return result
+
+    def _compute_traced(self, graph: TrustGraph, seed: str) -> AdvogatoResult:
+        """The node-splitting max-flow certification itself."""
         levels = graph.bfs_levels(seed)
         level_capacity = self._level_capacities(graph, levels)
         capacities = {node: level_capacity[level] for node, level in levels.items()}

@@ -32,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Literal
 
+from ..obs import NullSpan, Span, get_metrics, get_tracer
+
 from .graph import TrustGraph
 
 __all__ = ["Appleseed", "AppleseedResult"]
@@ -148,7 +150,23 @@ class Appleseed:
             raise KeyError(f"unknown source agent {source!r}")
         if self.max_depth is not None:
             graph = graph.within_horizon(source, self.max_depth)
+        with get_tracer().span(
+            "appleseed.compute",
+            source=source,
+            spreading_factor=self.spreading_factor,
+            convergence_threshold=self.convergence_threshold,
+        ) as span:
+            result = self._compute_traced(graph, source, injection, span)
+        return result
 
+    def _compute_traced(
+        self,
+        graph: TrustGraph,
+        source: str,
+        injection: float,
+        span: Span | NullSpan,
+    ) -> AppleseedResult:
+        """The spreading-activation loop, annotating *span* as it goes."""
         d = self.spreading_factor
         rank: dict[str, float] = {source: 0.0}
         incoming: dict[str, float] = {source: injection}
@@ -200,6 +218,20 @@ class Appleseed:
         ranks = {node: value for node, value in rank.items() if node != source}
         if self.distrust_mode == "one_step":
             ranks = self._apply_distrust(graph, source, ranks)
+        # Convergence telemetry (§3.2: neighborhoods are *bounded and
+        # auditable*): the sweep count and residual-energy series mirror
+        # the result's own fields exactly, so a trace is evidence, not a
+        # parallel bookkeeping that can drift.
+        span.set("iterations", iterations)
+        span.set("converged", converged)
+        span.set("network_size", len(ranks))
+        span.set("residual_energy", history)
+        metrics = get_metrics()
+        metrics.counter("appleseed.computations").inc()
+        metrics.counter("appleseed.sweeps").inc(iterations)
+        if not converged:
+            metrics.counter("appleseed.iteration_cap_hits").inc()
+        metrics.histogram("trust.neighborhood_size").observe(len(ranks))
         return AppleseedResult(
             source=source,
             ranks=ranks,

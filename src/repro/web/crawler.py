@@ -18,9 +18,11 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from collections.abc import Callable
+from dataclasses import dataclass, field, replace
 
 from ..core.models import Dataset, clamp_score
+from ..obs import Stopwatch, get_metrics, get_tracer
 from ..core.taxonomy import Taxonomy
 from ..semweb.foaf import (
     parse_agent_homepage,
@@ -74,6 +76,9 @@ class CrawlReport:
     backoff_ticks: int = 0
     breaker_trips: int = 0
     breaker_short_circuits: int = 0
+    #: Monotonic wall time of the pass; observability only, excluded from
+    #: equality so seeded-run reports still compare reproducibly.
+    duration_ms: float = field(default=0.0, compare=False)
 
 
 class _PassStats:
@@ -147,6 +152,20 @@ class Crawler:
         """
         if budget is not None and budget < 0:
             raise ValueError("budget must be non-negative")
+        return self._traced_pass(
+            "crawl",
+            lambda: self._crawl_pass(seeds, budget, max_depth, prioritize_by_trust),
+            seeds=len(seeds),
+            budget=budget,
+        )
+
+    def _crawl_pass(
+        self,
+        seeds: list[str],
+        budget: int | None,
+        max_depth: int | None,
+        prioritize_by_trust: bool,
+    ) -> CrawlReport:
         self.clock += 1
         fetched = 0
         discovered = 0
@@ -250,6 +269,11 @@ class Crawler:
         A replica whose refresh fetch fails stays in service, stamped
         degraded, so consumers never lose data they already had.
         """
+        return self._traced_pass(
+            "refresh", lambda: self._refresh_pass(budget), budget=budget
+        )
+
+    def _refresh_pass(self, budget: int | None) -> CrawlReport:
         self.clock += 1
         fetched = 0
         stats = _PassStats()
@@ -284,6 +308,12 @@ class Crawler:
         catalog_uri: str = DEFAULT_CATALOG_URI,
     ) -> CrawlReport:
         """Fetch the globally accessible taxonomy and catalog documents."""
+        return self._traced_pass(
+            "global_documents",
+            lambda: self._global_pass(taxonomy_uri, catalog_uri),
+        )
+
+    def _global_pass(self, taxonomy_uri: str, catalog_uri: str) -> CrawlReport:
         self.clock += 1
         stats = _PassStats()
         trips_before = self.breakers.trips
@@ -305,6 +335,31 @@ class Crawler:
         )
 
     # -- internals ------------------------------------------------------------
+
+    def _traced_pass(
+        self, kind: str, run: Callable[[], CrawlReport], **attrs: object
+    ) -> CrawlReport:
+        """Run one pass under a ``crawl.pass`` span, stamping its duration.
+
+        The span mirrors the returned :class:`CrawlReport` exactly
+        (fetched / discovered / quarantined / breaker trips), so a trace
+        is evidence of what the pass did, not parallel bookkeeping.
+        """
+        with get_tracer().span("crawl.pass", kind=kind, **attrs) as span:
+            with Stopwatch() as watch:
+                report = run()
+            report = replace(report, duration_ms=watch.elapsed_ms)
+            span.set("fetched", report.fetched)
+            span.set("discovered", report.discovered)
+            span.set("unreachable", len(report.unreachable))
+            span.set("quarantined", len(report.quarantined))
+            span.set("breaker_trips", report.breaker_trips)
+            metrics = get_metrics()
+            metrics.counter("crawl.passes").inc()
+            metrics.counter("crawl.fetched").inc(report.fetched)
+            metrics.counter("crawl.quarantined").inc(len(report.quarantined))
+            metrics.counter("crawl.degraded").inc(len(report.degraded))
+        return report
 
     def _extract_links(
         self, uri: str, body: str, parse_failures: list[str]

@@ -38,6 +38,7 @@ from collections.abc import Iterator
 from dataclasses import dataclass, field
 from urllib.parse import urlsplit
 
+from ..obs import get_metrics
 from .network import FetchResult, SimulatedWeb, WebError
 
 __all__ = [
@@ -308,8 +309,10 @@ class CircuitBreakerRegistry:
         if self.state(site) == "open":
             if now - self._opened_at[site] >= self.cooldown_ticks:
                 self._states[site] = "half_open"
+                get_metrics().counter("breaker.half_open_probes").inc()
                 return True
             self.short_circuits += 1
+            get_metrics().counter("breaker.short_circuits").inc()
             return False
         return True
 
@@ -322,6 +325,7 @@ class CircuitBreakerRegistry:
             self._states[site] = "open"
             self._opened_at[site] = now
             self.trips += 1
+            get_metrics().counter("breaker.trips").inc()
             return
         failures = self._failures.get(site, 0) + 1
         self._failures[site] = failures
@@ -329,6 +333,7 @@ class CircuitBreakerRegistry:
             self._states[site] = "open"
             self._opened_at[site] = now
             self.trips += 1
+            get_metrics().counter("breaker.trips").inc()
 
     def open_sites(self) -> tuple[str, ...]:
         """Sites whose breaker is currently open or half-open."""
@@ -378,6 +383,16 @@ class ResilientFetcher:
     ticks: int = 0
 
     def fetch(self, uri: str) -> FetchOutcome:
+        outcome = self._fetch(uri)
+        metrics = get_metrics()
+        metrics.counter(f"fetch.outcome.{outcome.error or 'ok'}").inc()
+        if outcome.retries:
+            metrics.counter("fetch.retries").inc(outcome.retries)
+        if outcome.backoff_ticks:
+            metrics.counter("fetch.backoff_ticks").inc(outcome.backoff_ticks)
+        return outcome
+
+    def _fetch(self, uri: str) -> FetchOutcome:
         site = site_of(uri)
         self.ticks += 1
         if not self.breakers.allow(site, self.ticks):

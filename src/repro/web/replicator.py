@@ -19,10 +19,13 @@ on — the complete decentralized loop in one call.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..core.models import Dataset
 from ..core.taxonomy import Taxonomy
+from ..obs import Stopwatch, get_metrics, get_tracer
 from ..semweb.foaf import publish_agent, publish_catalog, publish_taxonomy
 from ..semweb.serializer import serialize_ntriples
 from .crawler import DEFAULT_CATALOG_URI, DEFAULT_TAXONOMY_URI, Crawler
@@ -83,6 +86,36 @@ class ReplicationReport:
     backoff_ticks: int = 0
     breaker_trips: int = 0
     breaker_short_circuits: int = 0
+    #: ``(phase, monotonic ms)`` per replication phase, in execution order
+    #: (globals → homepages → assemble → weblogs).  Observability only,
+    #: excluded from equality so seeded-run reports compare reproducibly.
+    phase_durations: tuple[tuple[str, float], ...] = field(
+        default=(), compare=False
+    )
+    #: ``(phase, breaker trips during that phase)``, same order.
+    phase_breaker_trips: tuple[tuple[str, int], ...] = ()
+
+
+@contextmanager
+def _phase(
+    name: str,
+    crawler: Crawler,
+    durations: list[tuple[str, float]],
+    trips: list[tuple[str, int]],
+) -> Iterator[None]:
+    """Time one replication phase under a ``replicate.<name>`` span.
+
+    Appends the phase's monotonic duration and breaker-trip delta to the
+    caller's accumulators (they end up on the :class:`ReplicationReport`).
+    """
+    trips_before = crawler.breakers.trips
+    watch = Stopwatch()
+    with get_tracer().span(f"replicate.{name}") as span, watch:
+        yield
+    tripped = crawler.breakers.trips - trips_before
+    span.set("breaker_trips", tripped)
+    durations.append((name, watch.elapsed_ms))
+    trips.append((name, tripped))
 
 
 @dataclass
@@ -114,55 +147,72 @@ class CommunityReplicator:
         ratings from weblogs), the shared taxonomy, and a report.
         """
         crawler = Crawler(web=self.web, store=self.store, retry=self.retry)
-        globals_report = crawler.fetch_global_documents(taxonomy_uri, catalog_uri)
-        crawl_report = crawler.crawl(seeds, budget=budget)
-
-        dataset, assembly_failures = self.store.assemble_dataset()
-        taxonomy = self.store.assemble_taxonomy()
-        if taxonomy is None:
-            raise WebError(taxonomy_uri)
-
-        miner = LinkMiner(known_products=frozenset(dataset.products))
-        weblog_fetches = 0
-        weblogs_missing: list[str] = []
-        weblog_unreachable: list[str] = []
-        weblog_degraded: list[str] = []
-        retries = 0
-        transients = 0
-        backoff = 0
-        mined = 0
-        for agent_uri in sorted(dataset.agents):
-            log_uri = weblog_uri(agent_uri)
-            outcome = crawler.fetcher.fetch(log_uri)
-            retries += outcome.retries
-            transients += outcome.transient_failures
-            backoff += outcome.backoff_ticks
-            if outcome.result is not None:
-                weblog_fetches += outcome.cost
-                body = outcome.result.body
-                self.store.put(
-                    uri=log_uri,
-                    body=body,
-                    version=outcome.result.version,
-                    fetched_at=crawler.clock,
-                    kind="weblog",
+        durations: list[tuple[str, float]] = []
+        phase_trips: list[tuple[str, int]] = []
+        with get_tracer().span(
+            "replicate.pass", seeds=len(seeds), budget=budget
+        ) as span:
+            with _phase("globals", crawler, durations, phase_trips):
+                globals_report = crawler.fetch_global_documents(
+                    taxonomy_uri, catalog_uri
                 )
-            elif outcome.error == "missing":
-                weblogs_missing.append(log_uri)
-                continue
-            else:
-                # Unreachable: mine the stale replica when we have one, so
-                # transient weblog outages don't drop known ratings.
-                weblog_unreachable.append(log_uri)
-                stale = self.store.get(log_uri)
-                if stale is None:
-                    continue
-                self.store.mark_degraded(log_uri)
-                weblog_degraded.append(log_uri)
-                body = stale.body
-            for rating in miner.mine(agent_uri, body):
-                dataset.add_rating(rating)
-                mined += 1
+            with _phase("homepages", crawler, durations, phase_trips):
+                crawl_report = crawler.crawl(seeds, budget=budget)
+
+            with _phase("assemble", crawler, durations, phase_trips):
+                dataset, assembly_failures = self.store.assemble_dataset()
+                taxonomy = self.store.assemble_taxonomy()
+                if taxonomy is None:
+                    raise WebError(taxonomy_uri)
+
+            miner = LinkMiner(known_products=frozenset(dataset.products))
+            weblog_fetches = 0
+            weblogs_missing: list[str] = []
+            weblog_unreachable: list[str] = []
+            weblog_degraded: list[str] = []
+            retries = 0
+            transients = 0
+            backoff = 0
+            mined = 0
+            with _phase("weblogs", crawler, durations, phase_trips):
+                for agent_uri in sorted(dataset.agents):
+                    log_uri = weblog_uri(agent_uri)
+                    outcome = crawler.fetcher.fetch(log_uri)
+                    retries += outcome.retries
+                    transients += outcome.transient_failures
+                    backoff += outcome.backoff_ticks
+                    if outcome.result is not None:
+                        weblog_fetches += outcome.cost
+                        body = outcome.result.body
+                        self.store.put(
+                            uri=log_uri,
+                            body=body,
+                            version=outcome.result.version,
+                            fetched_at=crawler.clock,
+                            kind="weblog",
+                        )
+                    elif outcome.error == "missing":
+                        weblogs_missing.append(log_uri)
+                        continue
+                    else:
+                        # Unreachable: mine the stale replica when we have
+                        # one, so transient weblog outages don't drop known
+                        # ratings.
+                        weblog_unreachable.append(log_uri)
+                        stale = self.store.get(log_uri)
+                        if stale is None:
+                            continue
+                        self.store.mark_degraded(log_uri)
+                        weblog_degraded.append(log_uri)
+                        body = stale.body
+                    for rating in miner.mine(agent_uri, body):
+                        dataset.add_rating(rating)
+                        mined += 1
+            span.set("agents", len(dataset.agents))
+            span.set("mined_ratings", mined)
+            metrics = get_metrics()
+            metrics.counter("replicate.passes").inc()
+            metrics.counter("replicate.mined_ratings").inc(mined)
 
         passes = (globals_report, crawl_report)
         report = ReplicationReport(
@@ -195,5 +245,7 @@ class CommunityReplicator:
             backoff_ticks=sum(p.backoff_ticks for p in passes) + backoff,
             breaker_trips=crawler.breakers.trips,
             breaker_short_circuits=crawler.breakers.short_circuits,
+            phase_durations=tuple(durations),
+            phase_breaker_trips=tuple(phase_trips),
         )
         return dataset, taxonomy, report

@@ -42,7 +42,9 @@ class TestRuleCatalogue:
     def test_codes_are_unique_and_stable(self):
         codes = all_rule_codes()
         assert len(codes) == len(set(codes))
-        assert set(codes) >= {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006"}
+        assert set(codes) >= {
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        }
 
     def test_every_rule_has_a_summary(self):
         assert all(rule.summary for rule in DEFAULT_RULES)
@@ -226,6 +228,36 @@ class TestRL006ScoreLiteralRange:
         source = (
             "s = TrustStatement('a', 'b', 1.5)  # reprolint: disable=RL006\n"
         )
+        assert lint_source(source) == []
+
+
+class TestRL007WallClockDuration:
+    def test_time_time_triggers(self):
+        source = "start = time.time()\n"
+        assert "RL007" in codes_of(lint_source(source))
+
+    def test_elapsed_pattern_triggers_on_each_read(self):
+        source = "start = time.time()\nelapsed = time.time() - start\n"
+        assert codes_of(lint_source(source)) == ["RL007", "RL007"]
+
+    def test_monotonic_clocks_are_clean(self):
+        assert lint_source("t = time.perf_counter()\n") == []
+        assert lint_source("t = time.monotonic()\n") == []
+
+    def test_stopwatch_is_clean(self):
+        source = (
+            "watch = Stopwatch()\n"
+            "with watch:\n"
+            "    work()\n"
+            "print(watch.elapsed_ms)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_unrelated_time_attribute_is_clean(self):
+        assert lint_source("stamp = self.time.time\n") == []
+
+    def test_suppression_silences(self):
+        source = "start = time.time()  # reprolint: disable=RL007\n"
         assert lint_source(source) == []
 
 

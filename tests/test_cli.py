@@ -224,3 +224,70 @@ class TestDemoUnderFaults:
             main(["crawl", "--retries", "-1"])
         assert excinfo.value.code == 2
         assert "must be non-negative" in capsys.readouterr().err
+
+
+class TestObservability:
+    def test_experiment_id_is_case_insensitive(self, capsys):
+        assert main(["experiment", "ex01"]) == 0
+        assert "29.091" in capsys.readouterr().out
+
+    def test_trace_flag_writes_schema_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs import load_trace, validate_trace
+
+        trace = tmp_path / "ex01.jsonl"
+        assert main(["experiment", "EX01", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace: wrote" in out
+        records = load_trace(trace)
+        assert validate_trace(records) == []
+        assert records[0]["name"] == "experiment.EX01"
+        assert records[0]["parent"] is None
+
+    def test_metrics_flag_prints_summary(self, capsys):
+        code = main(["crawl", "--agents", "30", "--products", "60", "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "crawl.fetched" in out
+
+    def test_recommend_trace_wraps_query(self, snapshot, tmp_path, capsys):
+        from repro.obs import load_trace
+
+        data, taxonomy = snapshot
+        trace = tmp_path / "rec.jsonl"
+        code = main(
+            ["recommend", "--data", str(data), "--taxonomy", str(taxonomy),
+             "--agent-index", "0", "--trace", str(trace)]
+        )
+        assert code == 0
+        records = load_trace(trace)
+        names = [record["name"] for record in records]
+        assert "recommend.query" in names
+
+    def test_trace_summarize_renders_table(self, tmp_path, capsys):
+        trace = tmp_path / "ex01.jsonl"
+        main(["experiment", "EX01", "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "experiment.EX01" in out
+        assert "spans" in out
+
+    def test_trace_summarize_rejects_invalid_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"id": 1}\n', encoding="utf-8")
+        assert main(["trace", "summarize", str(bad)]) == 2
+        assert "invalid" in capsys.readouterr().err
+
+    def test_traces_deterministic_modulo_durations(self, tmp_path):
+        import json
+
+        from repro.obs import load_trace, strip_durations
+
+        projections = []
+        for name in ("a", "b"):
+            trace = tmp_path / f"{name}.jsonl"
+            assert main(["experiment", "EX01", "--trace", str(trace)]) == 0
+            stripped = strip_durations(load_trace(trace))
+            projections.append(json.dumps(stripped, sort_keys=True))
+        assert projections[0] == projections[1]

@@ -1,0 +1,167 @@
+"""Tracer/Span: reproducible identity, JSONL schema, null fast path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    load_trace,
+    strip_durations,
+    validate_trace,
+)
+from repro.obs.trace import SPAN_FIELDS
+
+
+class TestSpanTree:
+    def test_ids_sequential_in_start_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert [span.span_id for span in tracer.spans] == [1, 2, 3]
+        assert [span.name for span in tracer.spans] == ["a", "b", "c"]
+
+    def test_parent_comes_from_the_span_stack(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        parents = {span.name: span.parent_id for span in tracer.spans}
+        assert parents == {"root": None, "child": 1, "grandchild": 2, "sibling": 1}
+
+    def test_exception_recorded_and_stack_unwound(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        records = tracer.records()
+        assert records[1]["attrs"]["error"] == "RuntimeError"
+        assert records[0]["attrs"]["error"] == "RuntimeError"
+        # The stack fully unwound: a new span becomes a root.
+        with tracer.span("next"):
+            pass
+        assert tracer.records()[-1]["parent"] is None
+
+    def test_attrs_are_json_coerced(self):
+        tracer = Tracer()
+        with tracer.span("s", tags={"b", "a"}, pair=(1, 2)) as span:
+            span.set("extra", {"k": frozenset({3, 1})})
+        record = tracer.records()[0]
+        assert record["attrs"]["tags"] == ["a", "b"]
+        assert record["attrs"]["pair"] == [1, 2]
+        assert record["attrs"]["extra"] == {"k": [1, 3]}
+
+    def test_set_after_close_is_allowed(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            pass
+        span.set("late", 7)
+        assert tracer.records()[0]["attrs"]["late"] == 7
+
+    def test_durations_are_non_negative(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        assert tracer.spans[0].duration_ms >= 0.0
+
+
+class TestJsonl:
+    def test_round_trip_through_file(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root", seed=42):
+            with tracer.span("leaf"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.write_jsonl(path) == 2
+        records = load_trace(path)
+        assert records == tracer.records()
+        assert validate_trace(records) == []
+
+    def test_lines_have_sorted_keys(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        line = tracer.to_jsonl().splitlines()[0]
+        assert list(json.loads(line)) == sorted(SPAN_FIELDS)
+
+    def test_load_trace_names_the_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"attrs": {}}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            load_trace(path)
+
+
+class TestValidation:
+    def _valid(self, **overrides):
+        record = {
+            "attrs": {},
+            "duration_ms": 0.5,
+            "id": 1,
+            "name": "s",
+            "parent": None,
+        }
+        record.update(overrides)
+        return record
+
+    def test_accepts_a_valid_trace(self):
+        records = [self._valid(), self._valid(id=2, parent=1)]
+        assert validate_trace(records) == []
+
+    @pytest.mark.parametrize(
+        "mutation, fragment",
+        [
+            ({"id": 0}, "positive integer"),
+            ({"id": True}, "positive integer"),
+            ({"parent": 5}, "earlier span id"),
+            ({"name": ""}, "non-empty"),
+            ({"attrs": []}, "object"),
+            ({"duration_ms": -1.0}, "non-negative"),
+        ],
+    )
+    def test_rejects_schema_violations(self, mutation, fragment):
+        errors = validate_trace([self._valid(**mutation)])
+        assert errors and fragment in errors[0]
+
+    def test_rejects_wrong_key_set(self):
+        record = self._valid()
+        record["surprise"] = 1
+        errors = validate_trace([record])
+        assert errors and "keys" in errors[0]
+
+    def test_rejects_out_of_order_ids(self):
+        records = [self._valid(id=2), self._valid(id=1)]
+        assert any("out of start order" in error for error in validate_trace(records))
+
+    def test_strip_durations_removes_only_the_clock(self):
+        records = [self._valid()]
+        stripped = strip_durations(records)
+        assert "duration_ms" not in stripped[0]
+        assert set(stripped[0]) == set(SPAN_FIELDS) - {"duration_ms"}
+
+
+class TestNullPath:
+    def test_null_tracer_hands_out_the_shared_span(self):
+        assert NULL_TRACER.span("anything", k=1) is NULL_SPAN
+        assert NullTracer().span("other") is NULL_SPAN
+
+    def test_null_span_is_a_silent_context_manager(self):
+        with NULL_SPAN as span:
+            span.set("ignored", 1)
+        assert not isinstance(span, Span)
+
+    def test_enabled_flags(self):
+        assert Tracer().enabled is True
+        assert NULL_TRACER.enabled is False
