@@ -1,0 +1,32 @@
+"""EX20 — membership churn: smooth-degradation gate on hybrid accuracy.
+
+Regenerates the churn sweep and asserts the acceptance bound: hybrid
+precision@N declines within tolerance as the churn rate rises (no
+collapse), and the final population never drains below the floor.
+
+Set ``EX2x_SMOKE=1`` (shared by the EX20–EX23 scenario suite) for tiny
+sizes with a relaxed tolerance — smoke sizes carry more sampling noise
+per cell.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _util import report
+
+from repro.evaluation.dynamics import MIN_POPULATION
+from repro.evaluation.scenarios import run_ex20_churn, smooth_degradation
+
+SMOKE = os.environ.get("EX2x_SMOKE") == "1"
+TOLERANCE = 0.05 if SMOKE else 0.02
+
+
+def test_ex20_churn(benchmark):
+    table = benchmark.pedantic(run_ex20_churn, rounds=1, iterations=1)
+    report(table)
+
+    hybrid = [float(row[3]) for row in table.rows]
+    final_agents = [int(row[2]) for row in table.rows]
+    assert smooth_degradation(hybrid, tolerance=TOLERANCE)
+    assert all(n >= MIN_POPULATION for n in final_agents)

@@ -1,0 +1,39 @@
+"""EX21 — cold-start waves: established-user accuracy must hold.
+
+Regenerates the cold-start sweep and asserts the acceptance bounds:
+established-user hybrid precision@N holds within tolerance as waves
+grow, and newcomer coverage is a valid fraction that does not shrink
+as more newcomers arrive (every wave size that admits newcomers must
+serve at least as large a share as the previous one, within
+tolerance).
+
+Set ``EX2x_SMOKE=1`` for tiny sizes with a relaxed tolerance.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _util import report
+
+from repro.evaluation.scenarios import run_ex21_coldstart, smooth_degradation
+
+SMOKE = os.environ.get("EX2x_SMOKE") == "1"
+TOLERANCE = 0.05 if SMOKE else 0.02
+
+
+def test_ex21_coldstart(benchmark):
+    table = benchmark.pedantic(run_ex21_coldstart, rounds=1, iterations=1)
+    report(table)
+
+    hybrid = [float(row[3]) for row in table.rows]
+    coverage = [float(row[5]) for row in table.rows]
+    assert smooth_degradation(hybrid, tolerance=TOLERANCE)
+    assert all(0.0 <= c <= 1.0 for c in coverage)
+    # Rows with newcomers: coverage must not collapse as waves grow.
+    with_newcomers = [
+        float(row[5]) for row in table.rows if int(row[2]) > 0
+    ]
+    assert all(
+        b >= a - TOLERANCE for a, b in zip(with_newcomers, with_newcomers[1:])
+    )

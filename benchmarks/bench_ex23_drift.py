@@ -1,0 +1,30 @@
+"""EX23 — interest drift: smooth-degradation gate on hybrid accuracy.
+
+Regenerates the drift sweep and asserts the acceptance bound: hybrid
+precision@N declines within tolerance as the drift rate rises — the
+taxonomy profiles absorb cluster migration gradually rather than
+collapsing — and the drifted count grows with the rate.
+
+Set ``EX2x_SMOKE=1`` for tiny sizes with a relaxed tolerance.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _util import report
+
+from repro.evaluation.scenarios import run_ex23_drift, smooth_degradation
+
+SMOKE = os.environ.get("EX2x_SMOKE") == "1"
+TOLERANCE = 0.05 if SMOKE else 0.02
+
+
+def test_ex23_drift(benchmark):
+    table = benchmark.pedantic(run_ex23_drift, rounds=1, iterations=1)
+    report(table)
+
+    hybrid = [float(row[3]) for row in table.rows]
+    drifted = [int(row[2]) for row in table.rows]
+    assert smooth_degradation(hybrid, tolerance=TOLERANCE)
+    assert drifted == sorted(drifted), "drifted count must grow with the rate"

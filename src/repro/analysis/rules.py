@@ -1,4 +1,4 @@
-"""The reprolint rule catalogue (``RL001``–``RL006``).
+"""The reprolint rule catalogue (``RL001``–``RL008``).
 
 Each rule encodes one invariant of this reproduction and names the paper
 section or inter-subsystem contract it protects:
@@ -30,6 +30,12 @@ section or inter-subsystem contract it protects:
            unreproducible (occasionally negative) durations; durations
            must come from the monotonic clock via
            :class:`repro.obs.Stopwatch` (or ``time.perf_counter``)
+``RL008``  shared ``Dataset`` mutated in place — experiment/attack entry
+           points (``run_ex*`` / ``inject_*``) must operate on a copy of
+           their dataset parameter (the invariant
+           :mod:`repro.evaluation.attacks` documents); in-place mutation
+           corrupts the caller's community for every later experiment
+           sharing it
 ========  ==============================================================
 
 The whole-program (reprograph) rules live next door and are registered
@@ -68,6 +74,7 @@ __all__ = [
     "FloatEqualityOnScoresRule",
     "MutableDefaultArgRule",
     "ScoreLiteralRangeRule",
+    "SharedDatasetMutationRule",
     "SilentOverbroadExceptRule",
     "UnseededRandomRule",
     "UnsortedSetIterationRule",
@@ -472,6 +479,142 @@ class WallClockDurationRule(Rule):
                 )
 
 
+#: Dataset methods that mutate in place, and the dict fields behind them.
+_DATASET_MUTATORS = frozenset({"add_agent", "add_product", "add_trust", "add_rating"})
+_DATASET_FIELDS = frozenset({"agents", "products", "trust", "ratings"})
+_DICT_MUTATORS = frozenset({"pop", "popitem", "update", "clear", "setdefault"})
+
+#: Function names bound by the copy-before-mutate invariant: the public
+#: experiment and attack entry points.  Underscore helpers are exempt —
+#: they legitimately receive the already-copied dataset to build on.
+_ENTRY_POINT_RE = re.compile(r"^(run_ex|inject_)")
+
+
+class SharedDatasetMutationRule(Rule):
+    """RL008: entry point mutates its shared ``Dataset`` parameter.
+
+    :mod:`repro.evaluation.attacks` documents the invariant: attack and
+    experiment entry points "mutate a *copy* of the input dataset".
+    Communities are expensive to generate and shared across experiments
+    (the ``community`` fixture, ``default_community()`` reuse), so a
+    ``run_ex*`` / ``inject_*`` function writing through its dataset
+    parameter silently corrupts every later experiment run on the same
+    object.  Flagged mutations: ``dataset.add_agent(...)``-style calls,
+    assignment / deletion / dict-mutator calls on
+    ``dataset.agents|products|trust|ratings``.  A parameter the function
+    rebinds (``dataset = copy_dataset(dataset)``) is treated as a local
+    copy and exempt.
+    """
+
+    code = "RL008"
+    summary = "experiment/attack entry point mutates a shared Dataset in place"
+
+    def _dataset_params(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+        """Parameter names that look dataset-valued (name or annotation)."""
+        params: set[str] = set()
+        args = [*func.args.posonlyargs, *func.args.args, *func.args.kwonlyargs]
+        for arg in args:
+            annotated = False
+            if arg.annotation is not None:
+                if isinstance(arg.annotation, ast.Constant) and isinstance(
+                    arg.annotation.value, str
+                ):
+                    annotated = "Dataset" in arg.annotation.value
+                else:
+                    name = _dotted_name(arg.annotation)
+                    annotated = (
+                        name is not None and name.rpartition(".")[2] == "Dataset"
+                    )
+            if annotated or arg.arg == "dataset" or arg.arg.endswith("_dataset"):
+                params.add(arg.arg)
+        return params
+
+    @staticmethod
+    def _rebound_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+        """Names assigned anywhere in the body (local copies, not shared)."""
+        rebound: set[str] = set()
+        for node in ast.walk(func):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign, ast.NamedExpr)):
+                targets = [node.target]
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets = [node.target]
+            while targets:
+                target = targets.pop()
+                if isinstance(target, ast.Name):
+                    rebound.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    targets.extend(target.elts)
+                elif isinstance(target, ast.Starred):
+                    targets.append(target.value)
+        return rebound
+
+    @staticmethod
+    def _field_receiver(node: ast.expr) -> tuple[str, str] | None:
+        """``(param, field)`` for a bare ``param.field`` attribute."""
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            return node.value.id, node.attr
+        return None
+
+    def _mutations(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef, params: set[str]
+    ) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                base = node.func.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in params
+                    and node.func.attr in _DATASET_MUTATORS
+                ):
+                    yield node, f"{base.id}.{node.func.attr}(...)"
+                    continue
+                receiver = self._field_receiver(base)
+                if (
+                    receiver is not None
+                    and receiver[0] in params
+                    and receiver[1] in _DATASET_FIELDS
+                    and node.func.attr in _DICT_MUTATORS
+                ):
+                    yield node, f"{receiver[0]}.{receiver[1]}.{node.func.attr}(...)"
+                    continue
+            targets: list[ast.expr] = []
+            if isinstance(node, (ast.Assign, ast.Delete)):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    target = target.value
+                receiver = self._field_receiver(target)
+                if (
+                    receiver is not None
+                    and receiver[0] in params
+                    and receiver[1] in _DATASET_FIELDS
+                ):
+                    yield node, f"{receiver[0]}.{receiver[1]}"
+
+    def check(self, tree: ast.Module, context: RuleContext) -> Iterator[Finding]:
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _ENTRY_POINT_RE.match(func.name):
+                continue
+            params = self._dataset_params(func) - self._rebound_names(func)
+            if not params:
+                continue
+            for node, what in self._mutations(func, params):
+                yield self.finding(
+                    node,
+                    context,
+                    f"{func.name}() mutates shared dataset parameter via "
+                    f"{what}; operate on a copy "
+                    "(repro.evaluation.dynamics.copy_dataset)",
+                )
+
+
 DEFAULT_RULES: tuple[Rule, ...] = (
     UnseededRandomRule(),
     FloatEqualityOnScoresRule(),
@@ -480,6 +623,7 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     UnsortedSetIterationRule(),
     ScoreLiteralRangeRule(),
     WallClockDurationRule(),
+    SharedDatasetMutationRule(),
 )
 
 #: Whole-program rules `repro lint` runs alongside the per-file set.

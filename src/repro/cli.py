@@ -6,8 +6,9 @@ Installed as the ``repro`` console script.  Subcommands:
 * ``repro info``       — summarize a dataset snapshot
 * ``repro recommend``  — top-N recommendations for one agent
 * ``repro trust``      — trust neighborhood of one agent (Appleseed/Advogato)
-* ``repro experiment`` — run one EX table (EX01–EX19) and print it;
-  ``--parallel N`` fans EX05/EX06 out over worker processes
+* ``repro experiment`` — run one EX table (EX01–EX23) and print it;
+  ``--parallel N`` fans EX05/EX06 and the EX20–EX23 dynamics scenarios
+  out over worker processes
 * ``repro demo``       — full decentralized loop (optionally under faults)
 * ``repro crawl``      — chaos crawl: replicate a community under injected
   faults (``--fault-rate/--fault-seed/--retries`` …) and report
@@ -88,11 +89,15 @@ _EXPERIMENTS = {
     "EX17": ("experiments_ext", "run_ex17_distrust", True),
     "EX18": ("experiments_chaos", "run_ex18_chaos", True),
     "EX19": ("experiments_perf", "run_ex19_engine", False),
+    "EX20": ("scenarios", "run_ex20_churn", False),
+    "EX21": ("scenarios", "run_ex21_coldstart", False),
+    "EX22": ("scenarios", "run_ex22_evolving_sybil", False),
+    "EX23": ("scenarios", "run_ex23_drift", False),
 }
 
 #: Experiments whose runner accepts a ``runner=`` keyword for parallel
 #: per-user / per-agent fan-out (``repro experiment --parallel N``).
-_PARALLELIZABLE = {"EX05", "EX06"}
+_PARALLELIZABLE = {"EX05", "EX06", "EX20", "EX21", "EX22", "EX23"}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -147,7 +152,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="run one experiment table")
     experiment.add_argument("id", choices=sorted(_EXPERIMENTS), metavar="ID",
-                            type=str.upper, help="EX01..EX19 (case-insensitive)")
+                            type=str.upper, help="EX01..EX23 (case-insensitive)")
     experiment.add_argument(
         "--parallel", type=int, default=None, metavar="N",
         help="worker processes for per-user fan-out "
@@ -187,7 +192,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint",
         help=(
             "reprolint: domain-aware static analysis "
-            "(RL001..RL007 file rules + RL100..RL104 graph rules)"
+            "(RL001..RL008 file rules + RL100..RL104 graph rules)"
         ),
     )
     lint.add_argument("paths", nargs="+",
@@ -360,6 +365,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         experiments_chaos,
         experiments_ext,
         experiments_perf,
+        scenarios,
     )
 
     modules = {
@@ -367,6 +373,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "experiments_ext": experiments_ext,
         "experiments_chaos": experiments_chaos,
         "experiments_perf": experiments_perf,
+        "scenarios": scenarios,
     }
     func = getattr(modules[module_name], func_name)
     kwargs = {}

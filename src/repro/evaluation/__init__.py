@@ -6,6 +6,19 @@ from .attacks import (
     inject_profile_copy_attack,
     inject_sybil_region,
 )
+from .dynamics import (
+    AgentChurn,
+    ColdStartWave,
+    EpochSnapshot,
+    EpochState,
+    EpochTruth,
+    InterestDrift,
+    PopulationEvent,
+    SybilRingGrowth,
+    Timeline,
+    TrustSpamCampaign,
+    copy_dataset,
+)
 from .metrics import (
     catalog_coverage,
     f1_score,
@@ -29,8 +42,11 @@ from .protocol import (
 )
 from .significance import (
     ComparisonResult,
+    SeriesComparison,
     bootstrap_confidence_interval,
+    compare_epoch_series,
     compare_recommenders,
+    holm_bonferroni,
     paired_permutation_test,
 )
 
@@ -39,19 +55,33 @@ from .significance import (
 # repro.evaluation.experiments and repro.evaluation.experiments_ext.
 
 __all__ = [
+    "AgentChurn",
+    "ColdStartWave",
     "ComparisonResult",
+    "EpochSnapshot",
+    "EpochState",
+    "EpochTruth",
     "HoldoutSplit",
+    "InterestDrift",
+    "PopulationEvent",
     "ProfileCopyAttack",
     "QualityReport",
+    "SeriesComparison",
     "SybilRegion",
+    "SybilRingGrowth",
     "Table",
+    "Timeline",
+    "TrustSpamCampaign",
     "bootstrap_confidence_interval",
     "catalog_coverage",
+    "compare_epoch_series",
     "compare_recommenders",
+    "copy_dataset",
     "evaluate_recommender",
     "f1_score",
     "hit_rate",
     "holdout_split",
+    "holm_bonferroni",
     "inject_profile_copy_attack",
     "inject_sybil_region",
     "kendall_tau",

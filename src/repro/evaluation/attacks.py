@@ -65,10 +65,28 @@ def _copy_dataset(dataset: Dataset) -> Dataset:
     )
 
 
-def _mint_sybils(dataset: Dataset, n_sybils: int) -> list[str]:
-    sybils = [f"{SYBIL_PREFIX}{i:04d}" for i in range(n_sybils)]
+def _sybil_uri(index: int, wave: int) -> str:
+    """URI for the *index*-th sybil of injection *wave*.
+
+    Wave 0 keeps the historical flat namespace so existing experiment
+    tables stay byte-identical; later waves embed the wave number so
+    repeated injections on one dataset mint disjoint identities.
+    """
+    if wave == 0:
+        return f"{SYBIL_PREFIX}{index:04d}"
+    return f"{SYBIL_PREFIX}w{wave:02d}-{index:04d}"
+
+
+def _mint_sybils(dataset: Dataset, n_sybils: int, wave: int = 0) -> list[str]:
+    sybils = [_sybil_uri(i, wave) for i in range(n_sybils)]
     for i, uri in enumerate(sybils):
-        dataset.add_agent(Agent(uri=uri, name=f"Sybil {i}"))
+        if uri in dataset.agents:
+            raise ValueError(
+                f"sybil identity collision: {uri!r} already exists; "
+                "use a distinct `wave` for repeated injections"
+            )
+        name = f"Sybil {i}" if wave == 0 else f"Sybil {wave}/{i}"
+        dataset.add_agent(Agent(uri=uri, name=name))
     return sybils
 
 
@@ -93,6 +111,7 @@ def inject_sybil_region(
     seed: int = 0,
     internal_degree: int = 5,
     bridge_weight: float = 0.9,
+    wave: int = 0,
 ) -> SybilRegion:
     """Inject a dense sybil region reached by *n_bridges* attack edges.
 
@@ -100,15 +119,22 @@ def inject_sybil_region(
     a uniformly drawn sybil with weight *bridge_weight* (a compromised or
     careless honest agent vouching for a fake).  Returns the attacked
     dataset copy plus the ground truth.
+
+    *wave* namespaces the minted identities: repeated injections on one
+    dataset must pass distinct waves, otherwise the second call would
+    collide with the first ring's URIs (a :class:`ValueError`, not a
+    silent merge).
     """
     if n_sybils < 1:
         raise ValueError("n_sybils must be at least 1")
     if n_bridges < 0:
         raise ValueError("n_bridges must be non-negative")
+    if wave < 0:
+        raise ValueError("wave must be non-negative")
     rng = random.Random(seed)
     attacked = _copy_dataset(dataset)
     honest = sorted(dataset.agents)
-    sybils = _mint_sybils(attacked, n_sybils)
+    sybils = _mint_sybils(attacked, n_sybils, wave=wave)
     _wire_region(attacked, sybils, rng, min(internal_degree, n_sybils - 1))
 
     bridges: list[TrustStatement] = []
@@ -132,6 +158,7 @@ def inject_profile_copy_attack(
     n_pushed: int = 3,
     n_bridges: int = 0,
     seed: int = 0,
+    wave: int = 0,
 ) -> ProfileCopyAttack:
     """Inject sybils that copy *victim*'s profile and push attacker items.
 
@@ -145,12 +172,18 @@ def inject_profile_copy_attack(
         raise KeyError(f"unknown victim agent {victim!r}")
     if n_sybils < 1:
         raise ValueError("n_sybils must be at least 1")
+    if wave < 0:
+        raise ValueError("wave must be non-negative")
     rng = random.Random(seed)
     attacked = _copy_dataset(dataset)
-    sybils = _mint_sybils(attacked, n_sybils)
+    sybils = _mint_sybils(attacked, n_sybils, wave=wave)
     _wire_region(attacked, sybils, rng, min(5, n_sybils - 1))
 
-    pushed = [f"isbn:attack{i:04d}" for i in range(n_pushed)]
+    pushed = (
+        [f"isbn:attack{i:04d}" for i in range(n_pushed)]
+        if wave == 0
+        else [f"isbn:attack-w{wave:02d}-{i:04d}" for i in range(n_pushed)]
+    )
     for identifier in pushed:
         attacked.add_product(
             Product(identifier=identifier, title=f"Pushed {identifier}")

@@ -25,12 +25,16 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..core.recommender import Recommender
+from ..perf.parallel import derive_seed
 from .metrics import mean, precision_at
 from .protocol import HoldoutSplit
 
 __all__ = [
     "ComparisonResult",
+    "SeriesComparison",
     "bootstrap_confidence_interval",
+    "compare_epoch_series",
+    "holm_bonferroni",
     "paired_permutation_test",
     "paired_scores",
 ]
@@ -110,6 +114,113 @@ def bootstrap_confidence_interval(
     low_index = max(0, min(len(means) - 1, int(tail * rounds)))
     high_index = max(0, min(len(means) - 1, int((1.0 - tail) * rounds) - 1))
     return (means[low_index], means[high_index])
+
+
+def holm_bonferroni(p_values: Sequence[float]) -> list[float]:
+    """Holm step-down adjusted p-values for a family of tests.
+
+    The classic sequentially-rejective correction: sort the raw p-values,
+    multiply the *k*-th smallest by ``m - k`` (one-based: ``m``, ``m-1``,
+    …, ``1``), clamp into ``[0, 1]`` and enforce monotonicity so a later
+    hypothesis is never "more significant" than an earlier one.  Controls
+    the family-wise error rate at the same level as plain Bonferroni but
+    uniformly more powerful.  Returned list matches the input order.
+    """
+    for p in p_values:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p-value {p!r} outside [0, 1]")
+    m = len(p_values)
+    order = sorted(range(m), key=lambda i: (p_values[i], i))
+    adjusted = [0.0] * m
+    running = 0.0
+    for rank, index in enumerate(order):
+        running = max(running, min(1.0, (m - rank) * p_values[index]))
+        adjusted[index] = running
+    return adjusted
+
+
+@dataclass(frozen=True, slots=True)
+class SeriesComparison:
+    """Outcome of comparing two methods across a whole epoch series.
+
+    ``epochs[i]`` carries the raw per-epoch comparison; because one
+    timeline yields one hypothesis test *per epoch*, the per-epoch
+    p-values form a family and :attr:`adjusted_p_values` holds their
+    Holm–Bonferroni correction.  :attr:`pooled` tests the concatenated
+    per-user differences of every epoch at once — the single omnibus
+    answer to "does the method win over the run".
+    """
+
+    epochs: tuple[ComparisonResult, ...]
+    adjusted_p_values: tuple[float, ...]
+    pooled: ComparisonResult
+
+    @property
+    def n_significant(self) -> int:
+        """Epochs still significant at 0.05 after Holm correction."""
+        return sum(1 for p in self.adjusted_p_values if p < 0.05)
+
+
+def compare_epoch_series(
+    first: Sequence[Sequence[float]],
+    second: Sequence[Sequence[float]],
+    rounds: int = 2_000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> SeriesComparison:
+    """Paired comparison of two per-epoch score series.
+
+    *first* and *second* hold one per-user score sequence per epoch
+    (same users, same order within each epoch).  Each epoch gets its own
+    permutation test and bootstrap CI (seeded via
+    :func:`~repro.perf.parallel.derive_seed` so epochs are independent
+    but reproducible); the family of per-epoch p-values is Holm-adjusted
+    and the concatenation of all per-user differences feeds the pooled
+    omnibus test.
+    """
+    if len(first) != len(second):
+        raise ValueError("series must have one entry per epoch on both sides")
+    if not first:
+        raise ValueError("series must contain at least one epoch")
+    epochs: list[ComparisonResult] = []
+    pooled_first: list[float] = []
+    pooled_second: list[float] = []
+    for index, (a, b) in enumerate(zip(first, second)):
+        epoch_seed = derive_seed(seed, index)
+        differences = [x - y for x, y in zip(a, b)]
+        low, high = bootstrap_confidence_interval(
+            a, b, rounds=rounds, confidence=confidence, seed=epoch_seed
+        )
+        epochs.append(
+            ComparisonResult(
+                mean_difference=mean(differences) if differences else 0.0,
+                p_value=paired_permutation_test(a, b, rounds=rounds, seed=epoch_seed),
+                ci_low=low,
+                ci_high=high,
+                n_users=len(differences),
+            )
+        )
+        pooled_first.extend(a)
+        pooled_second.extend(b)
+    pooled_differences = [x - y for x, y in zip(pooled_first, pooled_second)]
+    pooled_seed = derive_seed(seed, len(epochs))
+    pooled_low, pooled_high = bootstrap_confidence_interval(
+        pooled_first, pooled_second, rounds=rounds, confidence=confidence, seed=pooled_seed
+    )
+    pooled = ComparisonResult(
+        mean_difference=mean(pooled_differences) if pooled_differences else 0.0,
+        p_value=paired_permutation_test(
+            pooled_first, pooled_second, rounds=rounds, seed=pooled_seed
+        ),
+        ci_low=pooled_low,
+        ci_high=pooled_high,
+        n_users=len(pooled_differences),
+    )
+    return SeriesComparison(
+        epochs=tuple(epochs),
+        adjusted_p_values=tuple(holm_bonferroni([e.p_value for e in epochs])),
+        pooled=pooled,
+    )
 
 
 def paired_scores(

@@ -261,6 +261,54 @@ class TestRL007WallClockDuration:
         assert lint_source(source) == []
 
 
+class TestRL008SharedDatasetMutation:
+    def test_entry_point_add_call_triggers(self):
+        source = "def run_ex99(dataset):\n    dataset.add_agent(x)\n"
+        assert "RL008" in codes_of(lint_source(source))
+
+    def test_inject_field_update_triggers(self):
+        source = (
+            "def inject_bad(train_dataset):\n"
+            "    train_dataset.agents.update(extra)\n"
+        )
+        assert "RL008" in codes_of(lint_source(source))
+
+    def test_field_subscript_assignment_triggers(self):
+        source = "def run_ex99(dataset):\n    dataset.trust[key] = edge\n"
+        assert "RL008" in codes_of(lint_source(source))
+
+    def test_field_delete_triggers(self):
+        source = "def run_ex99(dataset):\n    del dataset.ratings[key]\n"
+        assert "RL008" in codes_of(lint_source(source))
+
+    def test_annotated_param_triggers(self):
+        source = "def run_ex99(ds: Dataset):\n    ds.add_product(p)\n"
+        assert "RL008" in codes_of(lint_source(source))
+
+    def test_rebound_copy_is_clean(self):
+        source = (
+            "def run_ex99(dataset):\n"
+            "    dataset = copy_dataset(dataset)\n"
+            "    dataset.add_agent(x)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_helper_functions_are_exempt(self):
+        source = "def _mint(dataset):\n    dataset.add_agent(x)\n"
+        assert lint_source(source) == []
+
+    def test_read_only_access_is_clean(self):
+        source = "def run_ex99(dataset):\n    return len(dataset.agents)\n"
+        assert lint_source(source) == []
+
+    def test_suppression_silences(self):
+        source = (
+            "def run_ex99(dataset):\n"
+            "    dataset.add_agent(x)  # reprolint: disable=RL008\n"
+        )
+        assert lint_source(source) == []
+
+
 class TestSuppressions:
     def test_disable_all_silences_every_code(self):
         source = (

@@ -140,3 +140,52 @@ class TestProfileCopyAttack:
             attack.dataset.ratings_of(sybil), attack.dataset.products
         )
         assert cosine(victim_profile, sybil_profile) == pytest.approx(1.0)
+
+
+class TestWaveNamespace:
+    """Repeated injections must use disjoint identity namespaces."""
+
+    def test_wave_zero_keeps_legacy_uris(self, tiny_dataset):
+        region = inject_sybil_region(tiny_dataset, n_sybils=2, n_bridges=1, seed=1)
+        assert sorted(region.sybils) == [
+            "http://sybil.example.org/s0000",
+            "http://sybil.example.org/s0001",
+        ]
+
+    def test_distinct_waves_are_disjoint(self, tiny_dataset):
+        first = inject_sybil_region(tiny_dataset, n_sybils=3, n_bridges=1, seed=1, wave=1)
+        second = inject_sybil_region(first.dataset, n_sybils=3, n_bridges=1, seed=2, wave=2)
+        assert not first.sybils & second.sybils
+        assert first.sybils | second.sybils <= set(second.dataset.agents)
+
+    def test_repeated_wave_collides_loudly(self, tiny_dataset):
+        first = inject_sybil_region(tiny_dataset, n_sybils=2, n_bridges=1, seed=1)
+        with pytest.raises(ValueError, match="sybil identity collision"):
+            inject_sybil_region(first.dataset, n_sybils=2, n_bridges=0, seed=2)
+        with pytest.raises(ValueError, match="sybil identity collision"):
+            inject_sybil_region(first.dataset, n_sybils=2, n_bridges=0, seed=2, wave=0)
+
+    def test_negative_wave_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            inject_sybil_region(tiny_dataset, n_sybils=2, n_bridges=0, seed=1, wave=-1)
+
+    def test_profile_copy_waves_are_disjoint(self, tiny_dataset):
+        victim = "http://example.org/alice"
+        first = inject_profile_copy_attack(
+            tiny_dataset, victim=victim, n_sybils=2, n_pushed=1, seed=1, wave=1
+        )
+        second = inject_profile_copy_attack(
+            first.dataset, victim=victim, n_sybils=2, n_pushed=1, seed=2, wave=2
+        )
+        assert not first.sybils & second.sybils
+        assert not first.pushed_products & second.pushed_products
+
+    def test_profile_copy_repeat_collides_loudly(self, tiny_dataset):
+        victim = "http://example.org/alice"
+        first = inject_profile_copy_attack(
+            tiny_dataset, victim=victim, n_sybils=2, seed=1
+        )
+        with pytest.raises(ValueError, match="sybil identity collision"):
+            inject_profile_copy_attack(
+                first.dataset, victim=victim, n_sybils=2, seed=2
+            )

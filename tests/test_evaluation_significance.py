@@ -9,7 +9,9 @@ import pytest
 from repro.core.similarity import isclose
 from repro.evaluation.significance import (
     bootstrap_confidence_interval,
+    compare_epoch_series,
     compare_recommenders,
+    holm_bonferroni,
     paired_permutation_test,
 )
 
@@ -122,3 +124,97 @@ class TestCompareRecommenders:
         assert isclose(result.mean_difference, 0.0)
         assert isclose(result.p_value, 1.0)
         assert not result.significant
+
+
+class TestHolmBonferroni:
+    def test_hand_computed_family(self):
+        """Holm (1979) step-down on a four-test family, worked by hand.
+
+        Sorted: .005, .01, .03, .04 → multipliers 4, 3, 2, 1 →
+        .02, .03, .06, .04 → running max → .02, .03, .06, .06.
+        """
+        adjusted = holm_bonferroni([0.01, 0.04, 0.03, 0.005])
+        assert adjusted == pytest.approx([0.03, 0.06, 0.06, 0.02])
+
+    def test_single_p_unchanged(self):
+        assert holm_bonferroni([0.03]) == pytest.approx([0.03])
+
+    def test_ties_share_the_largest_multiplier(self):
+        assert holm_bonferroni([0.05, 0.05, 0.05]) == pytest.approx(
+            [0.15, 0.15, 0.15]
+        )
+
+    def test_capped_at_one(self):
+        assert holm_bonferroni([0.6, 0.7]) == pytest.approx([1.0, 1.0])
+
+    def test_adjusted_never_below_raw(self):
+        raw = [0.001, 0.2, 0.04, 0.7, 0.03]
+        adjusted = holm_bonferroni(raw)
+        assert all(a >= r for a, r in zip(adjusted, raw))
+
+    def test_monotone_in_raw_order(self):
+        """A smaller raw p never gets a larger adjusted p."""
+        raw = [0.01, 0.04, 0.03, 0.005, 0.2]
+        adjusted = holm_bonferroni(raw)
+        for i, p_i in enumerate(raw):
+            for j, p_j in enumerate(raw):
+                if p_i < p_j:
+                    assert adjusted[i] <= adjusted[j]
+
+    def test_empty_family(self):
+        assert holm_bonferroni([]) == []
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            holm_bonferroni([0.5, 1.5])
+        with pytest.raises(ValueError):
+            holm_bonferroni([-0.1])
+
+
+class TestCompareEpochSeries:
+    def consistent_series(self, n_epochs=3, n_users=16, gap=0.3):
+        rng = random.Random(99)
+        first, second = [], []
+        for _ in range(n_epochs):
+            base = [rng.uniform(0.2, 0.4) for _ in range(n_users)]
+            first.append([b + gap for b in base])
+            second.append(base)
+        return first, second
+
+    def test_consistent_gap_is_significant_everywhere(self):
+        first, second = self.consistent_series()
+        result = compare_epoch_series(first, second, rounds=500, seed=1)
+        assert result.pooled.significant
+        assert result.pooled.mean_difference == pytest.approx(0.3, abs=1e-9)
+        assert result.n_significant == len(result.epochs) == 3
+
+    def test_self_comparison_not_significant(self):
+        series = [[0.1, 0.2, 0.3, 0.4]] * 2
+        result = compare_epoch_series(series, series, rounds=200, seed=1)
+        assert not result.pooled.significant
+        assert result.n_significant == 0
+
+    def test_adjusted_at_least_raw(self):
+        first, second = self.consistent_series(n_epochs=4, gap=0.05)
+        result = compare_epoch_series(first, second, rounds=300, seed=2)
+        for epoch, adjusted in zip(result.epochs, result.adjusted_p_values):
+            assert adjusted >= epoch.p_value
+
+    def test_pooled_counts_all_users(self):
+        first, second = self.consistent_series(n_epochs=3, n_users=10)
+        result = compare_epoch_series(first, second, rounds=200, seed=3)
+        assert result.pooled.n_users == 30
+
+    def test_deterministic(self):
+        first, second = self.consistent_series()
+        a = compare_epoch_series(first, second, rounds=300, seed=4)
+        b = compare_epoch_series(first, second, rounds=300, seed=4)
+        assert a == b
+
+    def test_epoch_count_mismatch(self):
+        with pytest.raises(ValueError):
+            compare_epoch_series([[0.1]], [[0.1], [0.2]])
+
+    def test_empty_series(self):
+        with pytest.raises(ValueError):
+            compare_epoch_series([], [])

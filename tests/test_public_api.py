@@ -79,11 +79,12 @@ def test_experiment_functions_are_registered_in_cli():
         experiments_chaos,
         experiments_ext,
         experiments_perf,
+        scenarios,
     )
 
     defined = {
         name
-        for module in (experiments, experiments_chaos, experiments_ext, experiments_perf)
+        for module in (experiments, experiments_chaos, experiments_ext, experiments_perf, scenarios)
         for name in module.__all__
         if name.startswith("run_ex")
     }
