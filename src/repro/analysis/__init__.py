@@ -10,7 +10,7 @@ This package enforces them at analysis time with an AST-based lint pass:
 * :mod:`repro.analysis.engine` — the rule registry, per-file AST visitor,
   ``# reprolint: disable=RLxxx`` suppression handling, and JSON/human
   output formatting.
-* :mod:`repro.analysis.rules` — the domain rules (``RL001``–``RL006``),
+* :mod:`repro.analysis.rules` — the domain rules (``RL001``–``RL009``),
   each keyed to a paper section or an inter-subsystem contract.
 
 On top of the per-file pass sits **reprograph**, the whole-program

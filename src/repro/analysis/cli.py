@@ -11,7 +11,7 @@ Invoked as ``repro lint`` (via :mod:`repro.cli`) or directly as
     python -m repro.analysis src tests --baseline .reprolint-baseline.json
     python -m repro.analysis src --baseline b.json --write-baseline
 
-Every invocation runs the per-file rules (RL001–RL007) *and* the
+Every invocation runs the per-file rules (RL001–RL009) *and* the
 whole-program reprograph rules (RL100–RL104) in one pass.
 
 With ``--baseline FILE``, findings matching the committed baseline are

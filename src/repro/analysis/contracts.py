@@ -117,6 +117,11 @@ class LayerContract:
             # accelerator up at call time; perf imports core, not vice
             # versa, for everything that matters at import time.
             ("core", "perf"),
+            # Same inversion one layer down: the group trust metrics
+            # resolve their packed-CSR engines (repro.perf.trustmatrix)
+            # at compute time, keeping the trust package importable —
+            # python oracle intact — on numpy-less installs.
+            ("trust", "perf"),
         }
     )
     top_layers: frozenset[str] = frozenset({"cli", "agent", ""})

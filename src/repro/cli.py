@@ -5,10 +5,12 @@ Installed as the ``repro`` console script.  Subcommands:
 * ``repro generate``   — generate a synthetic community to JSONL snapshots
 * ``repro info``       — summarize a dataset snapshot
 * ``repro recommend``  — top-N recommendations for one agent
-* ``repro trust``      — trust neighborhood of one agent (Appleseed/Advogato)
+* ``repro trust``      — trust neighborhood of one agent (Appleseed/Advogato);
+  ``repro trust rank SOURCE... --engine numpy --workers N`` runs a
+  sharded :func:`~repro.trust.engine.rank_many` sweep over many sources
 * ``repro experiment`` — run one EX table (EX01–EX23) and print it;
-  ``--parallel N`` fans EX05/EX06 and the EX20–EX23 dynamics scenarios
-  out over worker processes
+  ``--parallel N`` fans EX02/EX03/EX05/EX06/EX17 and the EX20–EX23
+  dynamics scenarios out over worker processes
 * ``repro demo``       — full decentralized loop (optionally under faults)
 * ``repro crawl``      — chaos crawl: replicate a community under injected
   faults (``--fault-rate/--fault-seed/--retries`` …) and report
@@ -97,7 +99,7 @@ _EXPERIMENTS = {
 
 #: Experiments whose runner accepts a ``runner=`` keyword for parallel
 #: per-user / per-agent fan-out (``repro experiment --parallel N``).
-_PARALLELIZABLE = {"EX05", "EX06", "EX20", "EX21", "EX22", "EX23"}
+_PARALLELIZABLE = {"EX02", "EX03", "EX05", "EX06", "EX17", "EX20", "EX21", "EX22", "EX23"}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -143,12 +145,42 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(recommend)
 
     trust = sub.add_parser("trust", help="compute a trust neighborhood")
-    trust.add_argument("--data", required=True)
-    group = trust.add_mutually_exclusive_group(required=True)
+    # The flat form (`repro trust --data ... --source-index 0`) predates
+    # the subcommands, so its required flags are validated in the
+    # handler instead of by argparse — a required flag or group here
+    # would reject `repro trust rank ...`.
+    trust.add_argument("--data", default=None)
+    group = trust.add_mutually_exclusive_group()
     group.add_argument("--source", help="source agent URI")
     group.add_argument("--source-index", type=int, help="index into sorted agents")
     trust.add_argument("--metric", choices=["appleseed", "advogato"], default="appleseed")
     trust.add_argument("--top", type=int, default=10)
+    trust.add_argument(
+        "--engine",
+        choices=["auto", "numpy", "python"],
+        default="auto",
+        help="trust propagation engine (results are identical; numpy is "
+             "faster at community scale)",
+    )
+    trust_sub = trust.add_subparsers(dest="trust_command", metavar="SUBCOMMAND")
+    rank = trust_sub.add_parser(
+        "rank",
+        help="sharded Appleseed rank sweep over many sources (rank_many)",
+    )
+    rank.add_argument("sources", nargs="*", metavar="SOURCE",
+                      help="source agent URIs (default: every agent)")
+    rank.add_argument("--data", default=None)
+    rank.add_argument(
+        "--engine",
+        choices=["auto", "numpy", "python"],
+        default="auto",
+        help="trust propagation engine for the sweep",
+    )
+    rank.add_argument("--workers", type=int, default=None, metavar="N",
+                      help="worker processes (default: serial in-process)")
+    rank.add_argument("--top", type=int, default=3,
+                      help="top peers to print per source")
+    _add_obs_arguments(rank)
 
     experiment = sub.add_parser("experiment", help="run one experiment table")
     experiment.add_argument("id", choices=sorted(_EXPERIMENTS), metavar="ID",
@@ -192,7 +224,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint",
         help=(
             "reprolint: domain-aware static analysis "
-            "(RL001..RL008 file rules + RL100..RL104 graph rules)"
+            "(RL001..RL009 file rules + RL100..RL104 graph rules)"
         ),
     )
     lint.add_argument("paths", nargs="+",
@@ -311,7 +343,8 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     if args.method == "hybrid":
         recommender = SemanticWebRecommender(
             dataset=dataset, graph=graph, profiles=store,
-            formation=NeighborhoodFormation(), engine=args.engine,
+            formation=NeighborhoodFormation(engine=args.engine),
+            engine=args.engine,
         )
     elif args.method == "cf":
         recommender = PureCFRecommender(
@@ -338,12 +371,18 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 
 
 def _cmd_trust(args: argparse.Namespace) -> int:
+    if getattr(args, "trust_command", None) == "rank":
+        return _cmd_trust_rank(args)
+    if args.data is None:
+        raise SystemExit("error: --data is required")
+    if (args.source is None) == (args.source_index is None):
+        raise SystemExit("error: exactly one of --source / --source-index is required")
     dataset = load_dataset(args.data)
     source = _pick_agent(dataset, args.source, args.source_index)
     graph = TrustGraph.from_dataset(dataset)
     print(f"source: {source}")
     if args.metric == "appleseed":
-        result = Appleseed().compute(graph, source)
+        result = Appleseed(engine=args.engine).compute(graph, source)
         print(
             f"appleseed: {len(result.ranks)} ranked, "
             f"{result.iterations} iterations, converged={result.converged}"
@@ -351,10 +390,40 @@ def _cmd_trust(args: argparse.Namespace) -> int:
         for agent, rank in result.top(args.top):
             print(f"{agent}\t{rank:.4f}")
     else:
-        result = Advogato(target_size=args.top).compute(graph, source)
+        result = Advogato(target_size=args.top, engine=args.engine).compute(
+            graph, source
+        )
         print(f"advogato: {len(result.accepted)} certified (flow {result.total_flow})")
         for agent in sorted(result.accepted):
             print(agent)
+    return 0
+
+
+def _cmd_trust_rank(args: argparse.Namespace) -> int:
+    """Sharded Appleseed sweep over many sources (``repro trust rank``)."""
+    from .trust.engine import rank_many
+
+    if args.data is None:
+        raise SystemExit("error: --data is required")
+    dataset = load_dataset(args.data)
+    graph = TrustGraph.from_dataset(dataset)
+    sources = list(args.sources) or sorted(dataset.agents)
+    for source in sources:
+        if source not in dataset.agents:
+            raise SystemExit(f"error: unknown agent {source!r}")
+    runner = None
+    if args.workers is not None:
+        from .perf.parallel import ParallelExperimentRunner
+
+        runner = ParallelExperimentRunner(max_workers=args.workers)
+    results = rank_many(graph, sources, engine=args.engine, runner=runner)
+    for result in results:
+        print(
+            f"{result.source}\t{len(result.ranks)} ranked\t"
+            f"{result.iterations} iterations\tconverged={result.converged}"
+        )
+        for agent, rank in result.top(args.top):
+            print(f"  {agent}\t{rank:.4f}")
     return 0
 
 

@@ -70,6 +70,10 @@ class NeighborhoodFormation:
         Minimum raw rank for a peer to enter the neighborhood.
     max_peers:
         Optional top-M cut applied after thresholding.
+    engine:
+        Trust-propagation engine for the default metric
+        (``"auto"``/``"numpy"``/``"python"``); ignored when an explicit
+        *metric* is supplied, which carries its own engine choice.
     """
 
     def __init__(
@@ -78,6 +82,7 @@ class NeighborhoodFormation:
         injection: float = 200.0,
         threshold: float = 0.0,
         max_peers: int | None = None,
+        engine: str = "python",
     ) -> None:
         if injection <= 0.0:
             raise ValueError("injection must be positive")
@@ -85,7 +90,7 @@ class NeighborhoodFormation:
             raise ValueError("threshold must be non-negative")
         if max_peers is not None and max_peers < 1:
             raise ValueError("max_peers must be at least 1 when given")
-        self.metric = metric or Appleseed()
+        self.metric = metric or Appleseed(engine=engine)
         self.injection = injection
         self.threshold = threshold
         self.max_peers = max_peers

@@ -238,7 +238,7 @@ class SemanticWebRecommender(Recommender):
             dataset=dataset,
             graph=TrustGraph.from_dataset(dataset),
             profiles=ProfileStore(dataset, builder),
-            formation=formation or NeighborhoodFormation(),
+            formation=formation or NeighborhoodFormation(engine=engine),
             synthesis=synthesis or LinearBlend(),
             similarity_measure=similarity_measure,
             similarity_domain=similarity_domain,

@@ -14,7 +14,12 @@ from .amazon import (
     generate_products,
     generate_taxonomy,
 )
-from .generators import CommunityConfig, SyntheticCommunity, generate_community
+from .generators import (
+    CommunityConfig,
+    SyntheticCommunity,
+    generate_community,
+    stream_trust_edges,
+)
 from .io import load_dataset, load_taxonomy, save_dataset, save_taxonomy
 
 __all__ = [
@@ -35,4 +40,5 @@ __all__ = [
     "load_taxonomy",
     "save_dataset",
     "save_taxonomy",
+    "stream_trust_edges",
 ]

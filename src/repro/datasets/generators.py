@@ -22,13 +22,19 @@ Every generated artifact is deterministic given the config seed.
 from __future__ import annotations
 
 import random
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from ..core.models import Agent, Dataset, Product, Rating, TrustStatement
 from ..core.taxonomy import Taxonomy
 from .amazon import TaxonomyConfig, book_taxonomy_config, generate_products, generate_taxonomy
 
-__all__ = ["CommunityConfig", "SyntheticCommunity", "generate_community"]
+__all__ = [
+    "CommunityConfig",
+    "SyntheticCommunity",
+    "generate_community",
+    "stream_trust_edges",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -275,3 +281,73 @@ def generate_community(config: CommunityConfig) -> SyntheticCommunity:
         config=config,
         cluster_products=cluster_products,
     )
+
+
+def stream_trust_edges(
+    n_agents: int,
+    *,
+    mean_out: float = 8.0,
+    seed: int = 42,
+    distrust_fraction: float = 0.05,
+    n_clusters: int = 16,
+    homophily: float = 0.75,
+    hub_bias: float = 2.0,
+) -> Iterator[tuple[str, str, float]]:
+    """Stream the trust edges of a web-of-trust too large to materialize.
+
+    :func:`generate_community` builds the whole :class:`Dataset` —
+    products, ratings, taxonomy — which caps it at ~10^4 agents in
+    practice.  Million-agent trust-propagation benchmarks only need the
+    *edges*, so this generator yields ``(source, target, weight)``
+    statements one at a time in O(out-degree) memory, shaped like the
+    §4 communities the full generator plants:
+
+    * heavy-tailed out-degrees (exponential around *mean_out*) with hub
+      structure — low-index agents attract edges with probability
+      ``~ rank^(-1/hub_bias)``, the streaming stand-in for preferential
+      attachment;
+    * interest homophily: with probability *homophily* an edge stays in
+      the source's cluster (agents ``i ≡ c (mod n_clusters)``);
+    * a *distrust_fraction* of statements carry negative weights.
+
+    Ordered pairs are unique per source, self-loops never occur, every
+    agent states at least one edge, and the stream is deterministic
+    given *seed* — so two passes (one to pack a
+    :class:`~repro.perf.trustmatrix.TrustMatrix`, one to build the
+    oracle's :class:`~repro.trust.graph.TrustGraph`) see identical
+    statements in identical order.
+    """
+    if n_agents < 2:
+        raise ValueError("n_agents must be at least 2")
+    if mean_out <= 0.0:
+        raise ValueError("mean_out must be positive")
+    if not 0.0 <= distrust_fraction <= 0.5:
+        raise ValueError("distrust_fraction must lie in [0, 0.5]")
+    if not 0.0 <= homophily <= 1.0:
+        raise ValueError("homophily must lie in [0, 1]")
+    if hub_bias < 1.0:
+        raise ValueError("hub_bias must be at least 1.0")
+    rng = random.Random(seed)
+    n_clusters = max(1, min(n_clusters, n_agents))
+    width = len(str(n_agents - 1))
+    names = [f"urn:agent:{i:0{width}d}" for i in range(n_agents)]
+    for i in range(n_agents):
+        cluster = i % n_clusters
+        # Agents i ≡ cluster (mod n_clusters): there are this many.
+        members = (n_agents - cluster + n_clusters - 1) // n_clusters
+        degree = 1 + min(n_agents - 2, int(rng.expovariate(1.0 / mean_out)))
+        chosen: set[int] = set()
+        for _ in range(degree):
+            if members > 1 and rng.random() < homophily:
+                j = cluster + n_clusters * int(members * rng.random() ** hub_bias)
+            else:
+                j = int(n_agents * rng.random() ** hub_bias)
+            j = min(j, n_agents - 1)
+            if j == i or j in chosen:
+                continue
+            chosen.add(j)
+            if rng.random() < distrust_fraction:
+                weight = -round(rng.uniform(0.3, 1.0), 3)
+            else:
+                weight = round(rng.uniform(0.4, 1.0), 3)
+            yield names[i], names[j], weight

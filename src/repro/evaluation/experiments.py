@@ -43,6 +43,7 @@ from ..datasets.generators import CommunityConfig, SyntheticCommunity, generate_
 from ..obs import Stopwatch, get_tracer
 from ..trust.advogato import Advogato
 from ..trust.appleseed import Appleseed
+from ..trust.engine import rank_many
 from ..trust.graph import TrustGraph
 from ..trust.scalar import multiplicative_path_trust, scalar_neighborhood
 from .attacks import inject_profile_copy_attack, inject_sybil_region
@@ -133,8 +134,18 @@ def run_ex02_trust_similarity(
     community: SyntheticCommunity | None = None,
     n_samples: int = 400,
     seed: int = 7,
+    engine: str = "auto",
+    runner: ParallelExperimentRunner | None = None,
 ) -> Table:
-    """Mean profile similarity of trusted pairs vs 2-hop pairs vs random."""
+    """Mean profile similarity of trusted pairs vs 2-hop pairs vs random.
+
+    Besides the raw statement classes, a fourth class correlates the
+    *metric-formed* neighborhoods the §3.2 pipeline actually uses: each
+    sampled source paired with its top-ranked Appleseed peer, computed
+    as one sharded :func:`~repro.trust.engine.rank_many` sweep over the
+    packed trust matrix (*engine*/*runner* select the kernel and the
+    fan-out; results are engine- and worker-count-independent).
+    """
     community = community or default_community()
     dataset = community.dataset
     rng = random.Random(seed)
@@ -171,6 +182,19 @@ def run_ex02_trust_similarity(
         if a != b:
             random_pairs.append((a, b))
 
+    # Appleseed-formed pairs: one multi-source sweep over the shared
+    # packed matrix; capped so the python fallback stays test-sized.
+    sweep_sources = sorted(
+        {agents[rng.randrange(len(agents))] for _ in range(min(n_samples, 60))}
+    )
+    neighborhood_pairs = [
+        (result.source, result.top(1)[0][0])
+        for result in rank_many(
+            graph, sweep_sources, engine=engine, runner=runner
+        )
+        if result.ranks
+    ]
+
     from ..core.similarity import cosine
 
     table = Table(
@@ -179,6 +203,7 @@ def run_ex02_trust_similarity(
     )
     for label, pairs in (
         ("direct trust (1 hop)", direct_pairs),
+        ("appleseed top peer", neighborhood_pairs),
         ("2-hop trust", two_hop_pairs),
         ("random", random_pairs),
     ):
@@ -209,8 +234,15 @@ def run_ex03_appleseed_convergence(
     community: SyntheticCommunity | None = None,
     n_sources: int = 10,
     seed: int = 3,
+    engine: str = "auto",
+    runner: ParallelExperimentRunner | None = None,
 ) -> Table:
-    """Iterations and neighborhood size across d, T_c and injection."""
+    """Iterations and neighborhood size across d, T_c and injection.
+
+    Each ``(d, T_c, injection)`` configuration runs as one sharded
+    :func:`~repro.trust.engine.rank_many` sweep; *engine* and *runner*
+    change wall-clock only, never a table cell.
+    """
     community = community or default_community()
     graph = TrustGraph.from_dataset(community.dataset)
     rng = random.Random(seed)
@@ -233,8 +265,14 @@ def run_ex03_appleseed_convergence(
                 with get_tracer().span(
                     "ex03.config", d=d, T_c=threshold, injection=injection
                 ) as span:
-                    for source in sources:
-                        result = metric.compute(graph, source, injection)
+                    for result in rank_many(
+                        graph,
+                        sources,
+                        metric=metric,
+                        injection=injection,
+                        engine=engine,
+                        runner=runner,
+                    ):
                         iterations.append(result.iterations)
                         sizes.append(len(result.neighborhood(0.1)))
                         peaks.append(max(result.ranks.values(), default=0.0))
@@ -266,6 +304,7 @@ def run_ex04_attack_resistance(
     bridge_counts: tuple[int, ...] = (0, 1, 2, 5, 10, 20),
     top_k: int = 50,
     seed: int = 11,
+    engine: str = "auto",
 ) -> Table:
     """Fraction of sybils admitted into the neighborhood vs #attack edges."""
     community = community or default_community()
@@ -291,15 +330,15 @@ def run_ex04_attack_resistance(
         )
         graph = TrustGraph.from_dataset(region.dataset)
 
-        apple = Appleseed().compute(graph, source)
+        apple = Appleseed(engine=engine).compute(graph, source)
         top = [agent for agent, _ in apple.top(top_k)]
         apple_frac = sum(1 for a in top if a in region.sybils) / max(len(top), 1)
 
-        ppr = PersonalizedPageRank().compute(graph, source)
+        ppr = PersonalizedPageRank(engine=engine).compute(graph, source)
         ppr_top = [agent for agent, _ in ppr.top(top_k)]
         ppr_frac = sum(1 for a in ppr_top if a in region.sybils) / max(len(ppr_top), 1)
 
-        advogato = Advogato(target_size=top_k).compute(graph, source)
+        advogato = Advogato(target_size=top_k, engine=engine).compute(graph, source)
         accepted = advogato.accepted - {source}
         adv_frac = (
             sum(1 for a in accepted if a in region.sybils) / len(accepted)
@@ -606,7 +645,7 @@ def run_ex08_scalability(
             graph=graph,
             profiles=store,
             formation=NeighborhoodFormation(
-                metric=Appleseed(max_depth=4), max_peers=30
+                metric=Appleseed(max_depth=4, engine=engine), max_peers=30
             ),
             engine=engine,
         )

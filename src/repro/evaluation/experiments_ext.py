@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 from collections.abc import Mapping
+from typing import TYPE_CHECKING
 
 from ..core.models import Dataset, Product
 from ..core.neighborhood import NeighborhoodFormation
@@ -35,9 +36,13 @@ from ..core.stereotypes import StereotypeRecommender, cluster_profiles
 from ..datasets.amazon import book_taxonomy_config
 from ..datasets.generators import CommunityConfig, SyntheticCommunity, generate_community
 from ..trust.appleseed import Appleseed
+from ..trust.engine import rank_many
 from ..trust.graph import TrustGraph
 from .metrics import mean
 from .protocol import Table, evaluate_recommender, holdout_split
+
+if TYPE_CHECKING:
+    from ..perf.parallel import ParallelExperimentRunner
 
 __all__ = [
     "explicit_community",
@@ -237,6 +242,7 @@ def run_ex14_ablations(
     community: SyntheticCommunity | None = None,
     max_users: int = 30,
     seed: int = 43,
+    engine: str = "auto",
 ) -> Table:
     """Ablate the ♦-marked design decisions of DESIGN.md §4."""
     from .experiments import default_community
@@ -257,8 +263,8 @@ def run_ex14_ablations(
     # rank-weighted mean hop distance of ranked peers must be smaller
     # with them than without.
     injected = 200.0
-    with_back = Appleseed().compute(graph, source, injected)
-    without_back = Appleseed(backward_propagation=False).compute(
+    with_back = Appleseed(engine=engine).compute(graph, source, injected)
+    without_back = Appleseed(backward_propagation=False, engine=engine).compute(
         graph, source, injected
     )
     levels = graph.bfs_levels(source)
@@ -283,7 +289,9 @@ def run_ex14_ablations(
     )
 
     # (b) Nonlinear edge normalization: rank share of strong vs weak edges.
-    nonlinear = Appleseed(normalization="nonlinear").compute(graph, source, injected)
+    nonlinear = Appleseed(normalization="nonlinear", engine=engine).compute(
+        graph, source, injected
+    )
     table.add_row(
         "nonlinear normalization",
         "top-10 rank share",
@@ -422,6 +430,8 @@ def run_ex17_distrust(
     n_rogues: int = 10,
     accuser_fraction: float = 0.5,
     seed: int = 53,
+    engine: str = "auto",
+    runner: ParallelExperimentRunner | None = None,
 ) -> Table:
     """Effect of distrust statements on rogue agents' Appleseed rank.
 
@@ -475,8 +485,9 @@ def run_ex17_distrust(
     ):
         shares: list[float] = []
         admissions: list[float] = []
-        for source in sources:
-            result = metric.compute(graph, source)
+        for result in rank_many(
+            graph, sources, metric=metric, engine=engine, runner=runner
+        ):
             total = sum(result.ranks.values())
             rogue_mass = sum(result.ranks.get(r, 0.0) for r in rogues)
             shares.append(rogue_mass / total if total else 0.0)

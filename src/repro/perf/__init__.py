@@ -37,10 +37,12 @@ if numpy_available():  # pragma: no branch
         top_k_pairs,
     )
     from .matrix import ProfileMatrix, TopicVocabulary  # noqa: F401
+    from .trustmatrix import TrustMatrix  # noqa: F401
 
     __all__ += [
         "ProfileMatrix",
         "TopicVocabulary",
+        "TrustMatrix",
         "community_scores",
         "cosine_many",
         "pearson_many",

@@ -1,0 +1,461 @@
+"""CSR-packed trust adjacency + vectorized group-metric kernels.
+
+The trust counterpart of :mod:`repro.perf.matrix`: where that module
+packs taxonomy profiles for the similarity hot path, this one packs the
+web of trust so whole Appleseed sweeps, PageRank power steps and
+Advogato level scans phrase as numpy array operations instead of dict
+loops.  A :class:`TrustMatrix` interns node identifiers into dense
+indices and stores
+
+* the **positive** edges (the only ones energy propagates along) in CSR
+  form — row offsets ``indptr``, column indices ``indices``, weights
+  ``weights`` — with per-row order equal to the graph's
+  ``positive_successors`` dict order, so traversal-order-sensitive
+  consumers (Advogato's max-flow network) reproduce the dict engines
+  arc for arc;
+* a separate flat **negative-edge slice** (``neg_src``/``neg_dst``/
+  ``neg_weights``) for the one-step distrust discount, which must see
+  distrust statements even though spreading ignores them.
+
+The kernels below mirror :mod:`repro.trust` step by step — quota
+splitting, decay, backward-propagation injection, convergence residual —
+and are held to the same contract as :mod:`repro.perf.kernels`: the dict
+implementations are the oracle, agreement within 1e-9, discrete outputs
+(accepted sets, BFS orders) identical.  Engine selection lives in
+:mod:`repro.trust.engine`; this module stays importable without the
+trust package (``TYPE_CHECKING`` only) to keep the layering contract's
+``trust -> perf`` edge lazy and one-directional.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime perf->trust edge
+    from ..trust.graph import TrustGraph
+
+__all__ = [
+    "TrustMatrix",
+    "appleseed_spread",
+    "bfs_order_levels",
+    "distrust_discount",
+    "gather_rows",
+    "level_capacities",
+    "pagerank_power",
+]
+
+
+class TrustMatrix:
+    """Packed, read-only view of a :class:`~repro.trust.graph.TrustGraph`.
+
+    Node order follows the graph's insertion order (``graph.nodes()``),
+    per-row target order follows ``positive_successors`` — both are load
+    bearing for reproducing the dict engines' traversal orders.  The
+    structure is immutable and picklable, so sharded sweeps can ship one
+    packed copy to every worker instead of the dict-of-dicts graph.
+    """
+
+    __slots__ = (
+        "ids",
+        "index",
+        "indptr",
+        "indices",
+        "weights",
+        "edge_src",
+        "neg_src",
+        "neg_dst",
+        "neg_weights",
+    )
+
+    def __init__(
+        self,
+        ids: list[str],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        neg_src: np.ndarray,
+        neg_dst: np.ndarray,
+        neg_weights: np.ndarray,
+    ) -> None:
+        self.ids = ids
+        self.index = {node: i for i, node in enumerate(ids)}
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        #: Flat source index per positive edge (CSR row expansion) — the
+        #: scatter side of every bincount kernel below.
+        self.edge_src = np.repeat(
+            np.arange(len(ids), dtype=np.int64), np.diff(indptr)
+        )
+        self.neg_src = neg_src
+        self.neg_dst = neg_dst
+        self.neg_weights = neg_weights
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @property
+    def nnz(self) -> int:
+        """Number of packed positive edges."""
+        return int(self.indices.size)
+
+    def out_degrees(self) -> np.ndarray:
+        """Positive out-degree per node (CSR row lengths)."""
+        return np.diff(self.indptr)
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """The positive targets and weights of node *i* (array views)."""
+        lo, hi = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[lo:hi], self.weights[lo:hi]
+
+    def __getstate__(self) -> dict[str, object]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        for name in self.__slots__:
+            setattr(self, name, state[name])
+
+    @classmethod
+    def from_graph(cls, graph: "TrustGraph") -> "TrustMatrix":
+        """Pack *graph*; node and per-row orders mirror its dict orders."""
+        ids = list(graph.nodes())
+        index = {node: i for i, node in enumerate(ids)}
+        indptr = np.zeros(len(ids) + 1, dtype=np.int64)
+        col: list[int] = []
+        wgt: list[float] = []
+        neg_src: list[int] = []
+        neg_dst: list[int] = []
+        neg_w: list[float] = []
+        for i, node in enumerate(ids):
+            positives = graph.positive_successors(node)
+            indptr[i + 1] = indptr[i] + len(positives)
+            for target, weight in positives.items():
+                col.append(index[target])
+                wgt.append(weight)
+            for target, weight in graph.successors(node).items():
+                if weight < 0.0:
+                    neg_src.append(i)
+                    neg_dst.append(index[target])
+                    neg_w.append(weight)
+        return cls(
+            ids=ids,
+            indptr=indptr,
+            indices=np.asarray(col, dtype=np.int64),
+            weights=np.asarray(wgt, dtype=np.float64),
+            neg_src=np.asarray(neg_src, dtype=np.int64),
+            neg_dst=np.asarray(neg_dst, dtype=np.int64),
+            neg_weights=np.asarray(neg_w, dtype=np.float64),
+        )
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[str, str, float]],
+        nodes: Iterable[str] | None = None,
+    ) -> "TrustMatrix":
+        """Pack a stream of ``(source, target, weight)`` statements.
+
+        Streaming sibling of :meth:`from_graph` for generator-produced
+        communities too large to materialize as dict-of-dicts: interning
+        happens on the fly and the CSR is assembled with one stable
+        argsort.  Each ordered pair must appear at most once (generators
+        guarantee this; :class:`~repro.trust.graph.TrustGraph` handles
+        the overwrite semantics for mutable graphs).  *nodes* optionally
+        pre-seeds the id intern table (for agents with no statements).
+        """
+        index: dict[str, int] = {}
+        ids: list[str] = []
+
+        def intern(node: str) -> int:
+            slot = index.get(node)
+            if slot is None:
+                slot = len(ids)
+                index[node] = slot
+                ids.append(node)
+            return slot
+
+        if nodes is not None:
+            for node in nodes:
+                intern(node)
+        src: list[int] = []
+        dst: list[int] = []
+        wgt: list[float] = []
+        for source, target, weight in edges:
+            if source == target:
+                raise ValueError("self-trust edges are not allowed")
+            src.append(intern(source))
+            dst.append(intern(target))
+            wgt.append(weight)
+        n = len(ids)
+        src_arr = np.asarray(src, dtype=np.int64)
+        dst_arr = np.asarray(dst, dtype=np.int64)
+        w_arr = np.asarray(wgt, dtype=np.float64)
+        positive = w_arr > 0.0
+        negative = w_arr < 0.0
+        pos_src, pos_dst, pos_w = src_arr[positive], dst_arr[positive], w_arr[positive]
+        # Stable sort keeps statement order within each row, matching the
+        # insertion order a TrustGraph built from the same stream has.
+        order = np.argsort(pos_src, kind="stable")
+        pos_src, pos_dst, pos_w = pos_src[order], pos_dst[order], pos_w[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(pos_src, minlength=n), out=indptr[1:])
+        return cls(
+            ids=ids,
+            indptr=indptr,
+            indices=pos_dst,
+            weights=pos_w,
+            neg_src=src_arr[negative],
+            neg_dst=dst_arr[negative],
+            neg_weights=w_arr[negative],
+        )
+
+
+def gather_rows(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """Concatenate the CSR slices of *rows*, preserving row order.
+
+    Vectorized ranges-to-flat expansion: the result equals
+    ``np.concatenate([indices[indptr[r]:indptr[r+1]] for r in rows])``
+    without the per-row python loop.
+    """
+    counts = indptr[rows + 1] - indptr[rows]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype)
+    ends = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    return indices[np.repeat(indptr[rows], counts) + within]
+
+
+def appleseed_spread(
+    matrix: TrustMatrix,
+    source: int,
+    injection: float,
+    spreading_factor: float,
+    convergence_threshold: float,
+    max_iterations: int,
+    normalization: str = "linear",
+    backward_propagation: bool = True,
+) -> tuple[np.ndarray, np.ndarray, int, bool, list[float]]:
+    """Whole-graph Appleseed sweeps as sparse matrix-vector products.
+
+    Step-for-step mirror of ``Appleseed._compute_traced``: per sweep,
+    every energized node keeps ``(1 - d)`` of its energy as rank
+    (source excluded), forwards ``d`` split over its positive edges plus
+    the virtual backward edge to the source, and the loop terminates on
+    two consecutive sub-threshold residuals or full dissipation.
+    Returns ``(rank, members, iterations, converged, history)`` where
+    ``members`` indexes the oracle's rank-dict keyset (source included)
+    so zero-rank frontier entries survive into the result.
+    """
+    n = len(matrix)
+    d = spreading_factor
+    weights = matrix.weights if normalization == "linear" else matrix.weights**2
+    edge_src, edge_dst = matrix.edge_src, matrix.indices
+    # Quota denominators: sum of (possibly squared) positive weights,
+    # plus the weight-1 backward edge for every node except the source.
+    # The backward weight is 1.0 under both normalizations (1**2 == 1),
+    # and it *replaces* any real positive edge to the source — the
+    # oracle's quota dict assigns ``edges[source] = 1.0`` over whatever
+    # statement was there, so those real weights must not count twice.
+    if backward_propagation:
+        to_source = edge_dst == source
+        if bool(to_source.any()):
+            weights = weights.copy()
+            weights[to_source] = 0.0
+        den = np.bincount(edge_src, weights=weights, minlength=n) + 1.0
+        den[source] -= 1.0
+    else:
+        den = np.bincount(edge_src, weights=weights, minlength=n)
+
+    rank = np.zeros(n)
+    member = np.zeros(n, dtype=bool)
+    member[source] = True
+    energy = np.zeros(n)
+    energy[source] = injection
+    history: list[float] = []
+    iterations = 0
+    converged = False
+    while iterations < max_iterations:
+        iterations += 1
+        active = energy > 0.0
+        member |= active
+        kept = (1.0 - d) * energy
+        kept[~active] = 0.0
+        kept[source] = 0.0  # source rank is a backward-edge artifact
+        rank += kept
+        max_delta = float(kept.max(initial=0.0))
+        forwarding = active & (den > 0.0)
+        contrib = np.zeros(n)
+        contrib[forwarding] = d * energy[forwarding] / den[forwarding]
+        live = forwarding[edge_src]
+        if live.any():
+            hot_dst = edge_dst[live]
+            outgoing = np.bincount(
+                hot_dst,
+                weights=weights[live] * contrib[edge_src[live]],
+                minlength=n,
+            )
+            member[hot_dst] = True
+        else:
+            outgoing = np.zeros(n)
+        if backward_propagation:
+            # Every forwarding node except the source returns its
+            # backward share (weight 1 / den) to the source.
+            returned = contrib.copy()
+            returned[source] = 0.0
+            outgoing[source] += returned.sum()
+        history.append(max_delta)
+        # Convergence requires TWO consecutive sub-threshold sweeps —
+        # see the oracle for why one sweep can alias energy parked at
+        # the source.  The dissipation check runs on the *new* energy,
+        # after the residual check, exactly as the dict loop orders it.
+        if (
+            iterations > 1
+            and max_delta <= convergence_threshold
+            and history[-2] <= convergence_threshold
+        ):
+            converged = True
+            break
+        if not bool(forwarding.any()):  # energy fully dissipated
+            converged = True
+            break
+        energy = outgoing
+    return rank, member, iterations, converged, history
+
+
+def distrust_discount(
+    matrix: TrustMatrix,
+    source: int,
+    rank: np.ndarray,
+    member: np.ndarray,
+    spreading_factor: float,
+) -> np.ndarray:
+    """One vectorized round of non-transitive distrust discounting.
+
+    The oracle applies ``max(0, rank - penalty)`` per accuser
+    *sequentially*; because every penalty is non-negative that equals a
+    single ``max(0, rank - total_penalty)``, so one scatter-add over the
+    negative-edge slice reproduces it exactly.
+    """
+    if matrix.neg_src.size == 0:
+        return rank
+    accuser = rank.copy()
+    others = member.copy()
+    others[source] = False
+    peak = float(rank[others].max(initial=0.0))
+    accuser[source] = peak or 1.0
+    penalty = spreading_factor * np.bincount(
+        matrix.neg_dst,
+        weights=-matrix.neg_weights * accuser[matrix.neg_src],
+        minlength=len(matrix),
+    )
+    adjusted = rank.copy()
+    adjusted[others] = np.maximum(0.0, rank[others] - penalty[others])
+    return adjusted
+
+
+def pagerank_power(
+    matrix: TrustMatrix,
+    source: int,
+    alpha: float,
+    tolerance: float,
+    max_iterations: int,
+) -> tuple[np.ndarray, int, bool]:
+    """Personalized PageRank power iteration over the positive CSR.
+
+    Mass never leaves the component reachable from *source* (teleport
+    and dangling mass both return there), so iterating over the full
+    node set is algebraically identical to the oracle's restriction to
+    ``reachable_from(source)``.
+    """
+    n = len(matrix)
+    edge_src, edge_dst, weights = matrix.edge_src, matrix.indices, matrix.weights
+    row_total = np.bincount(edge_src, weights=weights, minlength=n)
+    spreading = row_total > 0.0
+    inverse = np.zeros(n)
+    inverse[spreading] = 1.0 / row_total[spreading]
+
+    rank = np.zeros(n)
+    rank[source] = 1.0
+    iterations = 0
+    converged = False
+    while iterations < max_iterations:
+        iterations += 1
+        contrib = alpha * rank * inverse
+        fresh = np.bincount(
+            edge_dst, weights=weights * contrib[edge_src], minlength=n
+        )
+        dangling = float(rank[~spreading].sum())
+        fresh[source] += (1.0 - alpha) + alpha * dangling
+        delta = float(np.abs(fresh - rank).sum())
+        rank = fresh
+        if delta <= tolerance:
+            converged = True
+            break
+    return rank, iterations, converged
+
+
+def bfs_order_levels(
+    matrix: TrustMatrix, source: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """BFS discovery order and hop levels along positive edges.
+
+    Returns ``(order, level)`` where *order* lists reached node indices
+    in exactly the order a deque BFS iterating ``positive_successors``
+    discovers them — Advogato's flow network is construction-order
+    sensitive, so first-occurrence order is part of the contract, not a
+    nicety.  *level* maps every node to its hop count (-1 unreached).
+    """
+    n = len(matrix)
+    level = np.full(n, -1, dtype=np.int64)
+    level[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    chunks = [frontier]
+    depth = 0
+    while frontier.size:
+        targets = gather_rows(matrix.indptr, matrix.indices, frontier)
+        targets = targets[level[targets] < 0]
+        if targets.size == 0:
+            break
+        # First-occurrence dedupe, order preserved: np.unique sorts by
+        # value, so re-sort the unique values by first appearance.
+        uniq, first = np.unique(targets, return_index=True)
+        fresh = uniq[np.argsort(first, kind="stable")]
+        depth += 1
+        level[fresh] = depth
+        chunks.append(fresh)
+        frontier = fresh
+    return np.concatenate(chunks), level
+
+
+def level_capacities(
+    matrix: TrustMatrix,
+    order: np.ndarray,
+    level: np.ndarray,
+    target_size: int,
+    min_decay: float,
+) -> list[int]:
+    """Advogato per-level capacities, decaying by observed branching.
+
+    Vector mirror of ``Advogato._level_capacities``: each level's
+    capacity divides the previous one by the mean positive out-degree of
+    the previous level's out-going members (floored at *min_decay*),
+    never dropping below 1.
+    """
+    reached_levels = level[order]
+    max_level = int(reached_levels.max(initial=0))
+    degrees = matrix.out_degrees()[order]
+    sequence = [target_size]
+    for current in range(max_level):
+        outgoing = degrees[(reached_levels == current) & (degrees > 0)]
+        branching = (
+            float(outgoing.sum()) / outgoing.size if outgoing.size else min_decay
+        )
+        decay = max(min_decay, branching)
+        sequence.append(max(1, int(sequence[-1] / decay)))
+    return sequence

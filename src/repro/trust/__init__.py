@@ -2,6 +2,13 @@
 
 from .advogato import Advogato, AdvogatoResult
 from .appleseed import Appleseed, AppleseedResult
+from .engine import (
+    TRUST_AUTO_THRESHOLD,
+    numpy_trust_available,
+    pack_graph,
+    rank_many,
+    resolve_trust_engine,
+)
 from .graph import TrustGraph
 from .maxflow import FlowNetwork
 from .pagerank import PageRankResult, PersonalizedPageRank
@@ -19,8 +26,13 @@ __all__ = [
     "FlowNetwork",
     "PageRankResult",
     "PersonalizedPageRank",
+    "TRUST_AUTO_THRESHOLD",
     "TrustGraph",
     "horizon_average_trust",
     "multiplicative_path_trust",
+    "numpy_trust_available",
+    "pack_graph",
+    "rank_many",
+    "resolve_trust_engine",
     "scalar_neighborhood",
 ]

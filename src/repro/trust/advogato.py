@@ -71,6 +71,12 @@ class Advogato:
         decay heuristic (index 0 = seed level).  Values are clamped to a
         minimum of 1 and the sequence's last value extends to deeper
         levels.
+    engine:
+        ``"python"`` (default) computes BFS levels and capacities with
+        dict loops; ``"numpy"``/``"auto"`` vectorize them over a packed
+        :class:`~repro.perf.trustmatrix.TrustMatrix` while building the
+        max-flow network in the identical order, so the accepted set is
+        the same frozenset, not an approximation.
     """
 
     #: Capacity decay per level is at least this factor even in sparse graphs.
@@ -80,22 +86,37 @@ class Advogato:
         self,
         target_size: int = 200,
         capacities: list[int] | None = None,
+        engine: str = "python",
     ) -> None:
         if target_size < 1:
             raise ValueError("target_size must be at least 1")
         if capacities is not None and not capacities:
             raise ValueError("explicit capacities must be non-empty")
+        if engine not in ("auto", "numpy", "python"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.target_size = target_size
         self.explicit_capacities = list(capacities) if capacities else None
+        self.engine = engine
 
     def compute(self, graph: TrustGraph, seed: str) -> AdvogatoResult:
         """Certify the trust neighborhood of *seed* over *graph*."""
         if seed not in graph:
             raise KeyError(f"unknown seed agent {seed!r}")
+        from .engine import resolve_trust_engine  # deferred: sibling cycle
+
+        resolved = resolve_trust_engine(self.engine, size=len(graph))
         with get_tracer().span(
-            "advogato.compute", seed=seed, target_size=self.target_size
+            "advogato.compute",
+            seed=seed,
+            target_size=self.target_size,
+            engine=resolved,
         ) as span:
-            result = self._compute_traced(graph, seed)
+            if resolved == "numpy":
+                from .engine import advogato_on_matrix, pack_graph
+
+                result = advogato_on_matrix(pack_graph(graph), seed, self)
+            else:
+                result = self._compute_traced(graph, seed)
         span.set("accepted", len(result.accepted))
         span.set("total_flow", result.total_flow)
         span.set("network_size", len(result.capacities))
@@ -123,8 +144,8 @@ class Advogato:
                 network.add_node(node_out)
             sink_arcs[node] = network.add_edge(node_in, supersink, 1)
         for node in levels:
-            for target, weight in graph.successors(node).items():
-                if weight > 0.0 and target in levels:
+            for target in graph.positive_successors(node):
+                if target in levels:
                     network.add_edge(
                         ("out", node), ("in", target), FlowNetwork.INFINITY
                     )

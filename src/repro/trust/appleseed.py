@@ -106,6 +106,15 @@ class Appleseed:
         approximates the single-step distrust propagation sketched in the
         Appleseed paper (distrust must not propagate transitively —
         "the enemy of my enemy" is *not* my friend).
+    engine:
+        ``"python"`` (default) runs the dict loops below — the oracle.
+        ``"numpy"`` runs whole sweeps as sparse matrix-vector products
+        over a packed :class:`~repro.perf.trustmatrix.TrustMatrix`;
+        ``"auto"`` picks numpy for graphs big enough to amortize the
+        pack.  Engines agree within 1e-9 (see
+        :mod:`repro.trust.engine`); the default stays on the oracle so
+        direct constructions remain bit-identical to the published
+        algorithm — entry points opt in explicitly.
     """
 
     def __init__(
@@ -117,6 +126,7 @@ class Appleseed:
         max_depth: int | None = None,
         distrust_mode: DistrustMode = "ignore",
         backward_propagation: bool = True,
+        engine: str = "python",
     ) -> None:
         if not 0.0 < spreading_factor < 1.0:
             raise ValueError("spreading_factor must lie strictly in (0, 1)")
@@ -130,6 +140,8 @@ class Appleseed:
             raise ValueError(f"unknown distrust_mode {distrust_mode!r}")
         if max_depth is not None and max_depth < 1:
             raise ValueError("max_depth must be at least 1 when given")
+        if engine not in ("auto", "numpy", "python"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.spreading_factor = spreading_factor
         self.convergence_threshold = convergence_threshold
         self.max_iterations = max_iterations
@@ -137,6 +149,7 @@ class Appleseed:
         self.max_depth = max_depth
         self.distrust_mode = distrust_mode
         self.backward_propagation = backward_propagation
+        self.engine = engine
 
     # -- main algorithm -----------------------------------------------------
 
@@ -150,23 +163,52 @@ class Appleseed:
             raise KeyError(f"unknown source agent {source!r}")
         if self.max_depth is not None:
             graph = graph.within_horizon(source, self.max_depth)
+        from .engine import resolve_trust_engine  # deferred: sibling cycle
+
+        resolved = resolve_trust_engine(self.engine, size=len(graph))
         with get_tracer().span(
             "appleseed.compute",
             source=source,
             spreading_factor=self.spreading_factor,
             convergence_threshold=self.convergence_threshold,
+            engine=resolved,
         ) as span:
-            result = self._compute_traced(graph, source, injection, span)
+            if resolved == "numpy":
+                from .engine import appleseed_on_matrix, pack_graph
+
+                result = appleseed_on_matrix(
+                    pack_graph(graph), source, injection, self
+                )
+            else:
+                result = self._compute_python(graph, source, injection)
+            self._record(span, result)
         return result
 
-    def _compute_traced(
+    def _record(self, span: Span | NullSpan, result: AppleseedResult) -> None:
+        """Convergence telemetry (§3.2: neighborhoods are *bounded and
+        auditable*): the sweep count and residual-energy series mirror
+        the result's own fields exactly, so a trace is evidence, not a
+        parallel bookkeeping that can drift.  Shared by both engines —
+        the vectorized path is held to the same evidence contract.
+        """
+        span.set("iterations", result.iterations)
+        span.set("converged", result.converged)
+        span.set("network_size", len(result.ranks))
+        span.set("residual_energy", result.history)
+        metrics = get_metrics()
+        metrics.counter("appleseed.computations").inc()
+        metrics.counter("appleseed.sweeps").inc(result.iterations)
+        if not result.converged:
+            metrics.counter("appleseed.iteration_cap_hits").inc()
+        metrics.histogram("trust.neighborhood_size").observe(len(result.ranks))
+
+    def _compute_python(
         self,
         graph: TrustGraph,
         source: str,
         injection: float,
-        span: Span | NullSpan,
     ) -> AppleseedResult:
-        """The spreading-activation loop, annotating *span* as it goes."""
+        """The dict spreading-activation loop — the oracle."""
         d = self.spreading_factor
         rank: dict[str, float] = {source: 0.0}
         incoming: dict[str, float] = {source: injection}
@@ -218,20 +260,6 @@ class Appleseed:
         ranks = {node: value for node, value in rank.items() if node != source}
         if self.distrust_mode == "one_step":
             ranks = self._apply_distrust(graph, source, ranks)
-        # Convergence telemetry (§3.2: neighborhoods are *bounded and
-        # auditable*): the sweep count and residual-energy series mirror
-        # the result's own fields exactly, so a trace is evidence, not a
-        # parallel bookkeeping that can drift.
-        span.set("iterations", iterations)
-        span.set("converged", converged)
-        span.set("network_size", len(ranks))
-        span.set("residual_energy", history)
-        metrics = get_metrics()
-        metrics.counter("appleseed.computations").inc()
-        metrics.counter("appleseed.sweeps").inc(iterations)
-        if not converged:
-            metrics.counter("appleseed.iteration_cap_hits").inc()
-        metrics.histogram("trust.neighborhood_size").observe(len(ranks))
         return AppleseedResult(
             source=source,
             ranks=ranks,

@@ -1,0 +1,355 @@
+"""Engine selection and sharded fan-out for the group trust metrics.
+
+Mirror of :mod:`repro.perf.engine` one layer down: every group metric
+(:class:`~repro.trust.appleseed.Appleseed`,
+:class:`~repro.trust.advogato.Advogato`,
+:class:`~repro.trust.pagerank.PersonalizedPageRank`) takes an ``engine``
+switch —
+
+* ``"python"`` — the dict implementations in this package.  Always
+  available; the oracle the vectorized path is property-tested against.
+* ``"numpy"``  — the packed CSR kernels of
+  :mod:`repro.perf.trustmatrix`.  Raises when numpy is missing.
+* ``"auto"``   — numpy when importable and the graph is big enough to
+  amortize packing, else python.
+
+Both engines agree within 1e-9 on continuous ranks and *exactly* on
+discrete outputs (Advogato's accepted set, neighborhood membership at
+threshold 0.0) — choosing an engine is a performance decision, never a
+semantic one.  The metric classes default to ``"python"`` so direct
+construction stays bit-identical to the published dict algorithms;
+entry points (experiments, the CLI) opt into ``"auto"`` explicitly —
+reprolint RL009 flags entry-point call sites that silently bypass the
+choice.
+
+:func:`rank_many` adds partition-by-source sharding: the packed matrix
+is read-only and picklable, so multi-source sweeps fan contiguous
+source chunks out to :class:`~repro.perf.parallel.ParallelExperimentRunner`
+workers and merge in submission order — byte-identical for any worker
+count.
+
+All ``perf`` imports below are function-local: ``trust -> perf`` is a
+*lazy-only* edge in the RL100 layering contract, keeping the trust
+package importable (python engine intact) on numpy-less installs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from functools import partial
+from typing import TYPE_CHECKING, Optional
+
+from ..obs import get_metrics, get_tracer
+
+from .appleseed import Appleseed, AppleseedResult
+from .graph import TrustGraph
+from .maxflow import FlowNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf.parallel import ParallelExperimentRunner
+    from ..perf.trustmatrix import TrustMatrix
+    from .advogato import Advogato, AdvogatoResult
+
+__all__ = [
+    "TRUST_AUTO_THRESHOLD",
+    "numpy_trust_available",
+    "pack_graph",
+    "rank_many",
+    "resolve_trust_engine",
+]
+
+#: Below this many nodes, ``engine="auto"`` stays on the python path:
+#: packing a CSR per call costs more than dict loops over a toy graph.
+TRUST_AUTO_THRESHOLD = 64
+
+_ENGINES = ("auto", "numpy", "python")
+
+
+def numpy_trust_available() -> bool:
+    """Whether the numpy trust engine can run in this interpreter."""
+    from ..perf.engine import numpy_available  # lazy: allowlisted trust->perf
+
+    return numpy_available()
+
+
+def resolve_trust_engine(engine: str = "auto", size: int | None = None) -> str:
+    """Resolve an ``engine`` switch to ``"numpy"`` or ``"python"``.
+
+    *size* is the node count of the graph about to be packed; pass
+    ``None`` when a packed matrix already exists (e.g. inside
+    :func:`rank_many`, which amortizes one pack over many sources).
+    """
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (expected one of {_ENGINES})")
+    if engine == "numpy":
+        if not numpy_trust_available():
+            raise RuntimeError("engine='numpy' requested but numpy is not installed")
+        resolved = "numpy"
+    elif engine == "python" or not numpy_trust_available():
+        resolved = "python"
+    elif size is not None and size < TRUST_AUTO_THRESHOLD:
+        resolved = "python"
+    else:
+        resolved = "numpy"
+    get_metrics().counter(f"trust.engine.selected.{resolved}").inc()
+    return resolved
+
+
+def pack_graph(graph: TrustGraph) -> "TrustMatrix":
+    """Pack *graph* into a :class:`~repro.perf.trustmatrix.TrustMatrix`.
+
+    Emits a ``trustmatrix.pack`` span so pack cost is attributable in
+    traces separately from the sweeps it amortizes over.
+    """
+    from ..perf.trustmatrix import TrustMatrix  # lazy: allowlisted trust->perf
+
+    with get_tracer().span(
+        "trustmatrix.pack", nodes=len(graph), edges=graph.edge_count()
+    ) as span:
+        matrix = TrustMatrix.from_graph(graph)
+        span.set("positive_edges", matrix.nnz)
+    get_metrics().counter("trust.matrix.packs").inc()
+    return matrix
+
+
+# -- numpy drivers (callers hold the spans) ---------------------------------
+
+
+def appleseed_on_matrix(
+    matrix: "TrustMatrix",
+    source: str,
+    injection: float,
+    metric: Appleseed,
+) -> AppleseedResult:
+    """Run one numpy Appleseed computation over a packed matrix.
+
+    The caller has already applied the exploration horizon (the matrix
+    is packed from the — possibly horizon-restricted — graph) and holds
+    the ``appleseed.compute`` span; this assembles the result exactly as
+    the dict oracle shapes it, zero-rank frontier entries included.
+    """
+    from ..perf import trustmatrix as tm  # lazy: allowlisted trust->perf
+
+    index = matrix.index[source]
+    rank, member, iterations, converged, history = tm.appleseed_spread(
+        matrix,
+        index,
+        injection,
+        metric.spreading_factor,
+        metric.convergence_threshold,
+        metric.max_iterations,
+        normalization=metric.normalization,
+        backward_propagation=metric.backward_propagation,
+    )
+    if metric.distrust_mode == "one_step":
+        rank = tm.distrust_discount(
+            matrix, index, rank, member, metric.spreading_factor
+        )
+    values = rank.tolist()
+    ranks = {
+        matrix.ids[i]: values[i]
+        for i in member.nonzero()[0].tolist()
+        if i != index
+    }
+    return AppleseedResult(
+        source=source,
+        ranks=ranks,
+        iterations=iterations,
+        converged=converged,
+        injected=injection,
+        history=history,
+    )
+
+
+def advogato_on_matrix(
+    matrix: "TrustMatrix", seed: str, metric: "Advogato"
+) -> "AdvogatoResult":
+    """Run one Advogato certification with vectorized levels/capacities.
+
+    BFS discovery order and level capacities come from the CSR kernels;
+    the flow network is then built in exactly the dict engine's
+    iteration order, so Dinic routes the same units over the same arcs
+    and the accepted set is *identical*, not merely close.
+    """
+    from ..perf import trustmatrix as tm  # lazy: allowlisted trust->perf
+    from .advogato import AdvogatoResult
+
+    index = matrix.index[seed]
+    order, level = tm.bfs_order_levels(matrix, index)
+    if metric.explicit_capacities is not None:
+        sequence = [max(1, c) for c in metric.explicit_capacities]
+        last = sequence[-1]
+        while len(sequence) <= int(level[order].max(initial=0)):
+            sequence.append(last)
+    else:
+        sequence = tm.level_capacities(
+            matrix, order, level, metric.target_size, metric.MIN_DECAY
+        )
+    reached = order.tolist()
+    capacities = {matrix.ids[i]: sequence[int(level[i])] for i in reached}
+
+    network = FlowNetwork()
+    supersink = ("advogato", "supersink")
+    sink_arcs: dict[str, int] = {}
+    for node, capacity in capacities.items():
+        node_in = ("in", node)
+        if capacity > 1:
+            network.add_edge(node_in, ("out", node), capacity - 1)
+        else:
+            network.add_node(("out", node))
+        sink_arcs[node] = network.add_edge(node_in, supersink, 1)
+    in_horizon = level >= 0
+    for i in reached:
+        targets, _ = matrix.row(i)
+        node_out = ("out", matrix.ids[i])
+        for j in targets[in_horizon[targets]].tolist():
+            network.add_edge(node_out, ("in", matrix.ids[j]), FlowNetwork.INFINITY)
+
+    total_flow = network.max_flow(("in", seed), supersink)
+    accepted = frozenset(
+        node for node, arc in sink_arcs.items() if network.flow_on(arc) > 0
+    )
+    return AdvogatoResult(
+        seed=seed,
+        accepted=accepted,
+        capacities=capacities,
+        total_flow=total_flow,
+    )
+
+
+def pagerank_on_matrix(
+    matrix: "TrustMatrix",
+    source: str,
+    alpha: float,
+    tolerance: float,
+    max_iterations: int,
+) -> tuple[dict[str, float], int, bool]:
+    """Run one personalized-PageRank power iteration over the CSR."""
+    from ..perf import trustmatrix as tm  # lazy: allowlisted trust->perf
+
+    index = matrix.index[source]
+    rank, iterations, converged = tm.pagerank_power(
+        matrix, index, alpha, tolerance, max_iterations
+    )
+    values = rank.tolist()
+    ranks = {
+        matrix.ids[i]: values[i]
+        for i in rank.nonzero()[0].tolist()
+        if i != index
+    }
+    return ranks, iterations, converged
+
+
+# -- partition-by-source sharding -------------------------------------------
+
+
+def _metric_settings(metric: Appleseed) -> dict[str, object]:
+    """The constructor arguments reproducing *metric* in a worker."""
+    return {
+        "spreading_factor": metric.spreading_factor,
+        "convergence_threshold": metric.convergence_threshold,
+        "max_iterations": metric.max_iterations,
+        "normalization": metric.normalization,
+        "max_depth": metric.max_depth,
+        "distrust_mode": metric.distrust_mode,
+        "backward_propagation": metric.backward_propagation,
+    }
+
+
+def _rank_chunk(
+    state: tuple[str, object, dict[str, object], float],
+    chunk: list[str],
+) -> list[AppleseedResult]:
+    """Worker: rank one contiguous source chunk over the shared payload.
+
+    Module-level and payload-picklable, as
+    :class:`~repro.perf.parallel.ParallelExperimentRunner` requires.
+    Workers run with the null tracer, so per-source spans cost nothing
+    off the parent process.
+    """
+    kind, payload, settings, injection = state
+    metric = Appleseed(**settings)  # type: ignore[arg-type]
+    if kind == "matrix":
+        matrix: "TrustMatrix" = payload  # type: ignore[assignment]
+        results = []
+        for source in chunk:
+            # Same span + metrics contract as Appleseed.compute, so a
+            # sharded sweep leaves the same evidence a source-by-source
+            # loop would (null tracer — hence free — inside workers).
+            with get_tracer().span(
+                "appleseed.compute",
+                source=source,
+                spreading_factor=metric.spreading_factor,
+                convergence_threshold=metric.convergence_threshold,
+                engine="numpy",
+            ) as span:
+                result = appleseed_on_matrix(matrix, source, injection, metric)
+                metric._record(span, result)
+            results.append(result)
+        return results
+    graph: TrustGraph = payload  # type: ignore[assignment]
+    return [metric.compute(graph, source, injection) for source in chunk]
+
+
+def rank_many(
+    graph: TrustGraph,
+    sources: Sequence[str],
+    *,
+    metric: Appleseed | None = None,
+    injection: float = 200.0,
+    engine: str = "auto",
+    runner: Optional["ParallelExperimentRunner"] = None,
+) -> list[AppleseedResult]:
+    """Appleseed ranks for many sources over one shared packed matrix.
+
+    Partition-by-source sharding: the source list is split into
+    contiguous chunks (:func:`~repro.perf.parallel.split_evenly`), each
+    worker ranks its chunk against the same read-only payload, and
+    results merge in submission order — the output is byte-identical
+    for any worker count, including the serial in-process path used
+    when *runner* is ``None``.
+
+    With the numpy engine (and no exploration horizon) the payload is
+    the packed :class:`~repro.perf.trustmatrix.TrustMatrix`; with the
+    python engine — or a ``max_depth`` horizon, which needs per-source
+    subgraphs — it is the graph itself and each worker runs the oracle.
+    """
+    metric = metric or Appleseed()
+    work = list(sources)
+    for source in work:
+        if source not in graph:
+            raise KeyError(f"unknown source agent {source!r}")
+    resolved = resolve_trust_engine(engine, size=len(graph))
+    metrics = get_metrics()
+    with get_tracer().span(
+        "trust.rank_many",
+        sources=len(work),
+        engine=resolved,
+        nodes=len(graph),
+    ) as span:
+        if resolved == "numpy" and metric.max_depth is None:
+            state: tuple[str, object, dict[str, object], float] = (
+                "matrix",
+                pack_graph(graph),
+                _metric_settings(metric),
+                injection,
+            )
+        else:
+            settings = _metric_settings(metric)
+            settings["engine"] = resolved
+            state = ("graph", graph, settings, injection)
+        if runner is None:
+            results = _rank_chunk(state, work)
+        else:
+            from ..perf.parallel import split_evenly  # lazy trust->perf
+
+            chunks = split_evenly(work, runner.effective_workers())
+            results = [
+                result
+                for chunk_results in runner.map(partial(_rank_chunk, state), chunks)
+                for result in chunk_results
+            ]
+        span.set("iterations", sum(result.iterations for result in results))
+    metrics.counter("trust.rank_many.calls").inc()
+    metrics.histogram("trust.rank_many.sources").observe(len(work))
+    return results

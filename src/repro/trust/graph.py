@@ -39,6 +39,13 @@ class TrustGraph:
     def __init__(self) -> None:
         self._succ: dict[str, dict[str, float]] = {}
         self._pred: dict[str, dict[str, float]] = {}
+        # Positive-only successor views, maintained incrementally on every
+        # edge mutation.  The group trust metrics call
+        # :meth:`positive_successors` inside their innermost loops (once
+        # per node per Appleseed quota, once per node per BFS level), and
+        # filtering the full adjacency dict there allocated a fresh dict
+        # per call — the single hottest allocation in the python engine.
+        self._pos_succ: dict[str, dict[str, float]] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -48,6 +55,7 @@ class TrustGraph:
             raise ValueError("node identifier must be non-empty")
         self._succ.setdefault(node, {})
         self._pred.setdefault(node, {})
+        self._pos_succ.setdefault(node, {})
 
     def add_edge(self, source: str, target: str, weight: float) -> None:
         """State ``t_source(target) = weight``; overwrites a prior statement."""
@@ -58,11 +66,16 @@ class TrustGraph:
         self.add_node(target)
         self._succ[source][target] = weight
         self._pred[target][source] = weight
+        if weight > 0.0:
+            self._pos_succ[source][target] = weight
+        else:  # overwriting a positive statement with distrust retracts it
+            self._pos_succ[source].pop(target, None)
 
     def remove_edge(self, source: str, target: str) -> None:
         """Retract a trust statement; missing edges raise :class:`KeyError`."""
         del self._succ[source][target]
         del self._pred[target][source]
+        self._pos_succ[source].pop(target, None)
 
     @classmethod
     def from_dataset(cls, dataset: "Dataset") -> "TrustGraph":
@@ -117,9 +130,12 @@ class TrustGraph:
         """Outgoing statements with strictly positive weight.
 
         Group trust metrics propagate along trust, never along distrust;
-        a negative statement must not lend its target any energy.
+        a negative statement must not lend its target any energy.  The
+        returned mapping is a *cached view* maintained on edge mutation —
+        callers must copy before modifying (as :class:`Appleseed` does
+        when adding its virtual backward edge).
         """
-        return {t: w for t, w in self._succ.get(node, {}).items() if w > 0.0}
+        return self._pos_succ.get(node, {})
 
     def out_degree(self, node: str) -> int:
         return len(self._succ.get(node, {}))

@@ -1,0 +1,295 @@
+"""Property tests for the vectorized trust engines (repro.trust.engine).
+
+The dict-based metrics are the oracle; the packed-CSR numpy engines must
+agree with them within 1e-9 on continuous ranks and *exactly* on every
+discrete output (membership sets, iteration counts, convergence flags,
+Advogato accepted sets).  Hypothesis drives both engines over random
+graphs that include the awkward shapes: dangling sinks, disconnected
+sources, all-negative edge sets, weight-zero statements.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.trust.advogato import Advogato
+from repro.trust.appleseed import Appleseed
+from repro.trust.engine import (
+    TRUST_AUTO_THRESHOLD,
+    numpy_trust_available,
+    rank_many,
+    resolve_trust_engine,
+)
+from repro.trust.graph import TrustGraph
+from repro.trust.pagerank import PersonalizedPageRank
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_trust_available(), reason="numpy engine not available"
+)
+
+# -- strategies --------------------------------------------------------------
+
+_NODES = [f"http://t.example.org/n{i:02d}" for i in range(14)]
+
+#: Weights rounded to 3 decimals; zero stays possible (a stated-but-flat
+#: trust value is neither positive nor negative and must drop out of
+#: both engines identically).
+_weights = st.floats(min_value=-1.0, max_value=1.0).map(lambda v: round(v, 3))
+
+
+@st.composite
+def trust_graphs(draw) -> tuple[TrustGraph, list[str]]:
+    """Random graphs with isolated nodes, sinks and signed edges.
+
+    Every node is added explicitly first, so nodes without any edge
+    (disconnected sources, pure sinks) always occur.  Edge pairs are
+    unique — re-stating an edge with a flipped sign is overwrite
+    semantics, a separate (deterministic) concern from propagation.
+    """
+    nodes = draw(
+        st.lists(st.sampled_from(_NODES), min_size=2, max_size=14, unique=True)
+    )
+    graph = TrustGraph()
+    for node in nodes:
+        graph.add_node(node)
+    pairs = draw(
+        st.lists(
+            st.tuples(st.sampled_from(nodes), st.sampled_from(nodes)).filter(
+                lambda pair: pair[0] != pair[1]
+            ),
+            max_size=40,
+            unique=True,
+        )
+    )
+    for source, target in pairs:
+        graph.add_edge(source, target, draw(_weights))
+    return graph, nodes
+
+
+def _dense_graph(seed: int = 97, n: int = 60, edges: int = 300) -> TrustGraph:
+    """A fixed seeded graph big enough for auto to resolve to numpy."""
+    rng = random.Random(seed)
+    nodes = [f"http://t.example.org/d{i:03d}" for i in range(n)]
+    graph = TrustGraph()
+    for node in nodes:
+        graph.add_node(node)
+    seen: set[tuple[str, str]] = set()
+    while len(seen) < edges:
+        source, target = rng.sample(nodes, 2)
+        if (source, target) in seen:
+            continue
+        seen.add((source, target))
+        weight = round(rng.uniform(-1.0, 1.0), 3) or 0.5
+        graph.add_edge(source, target, weight)
+    return graph
+
+
+def _assert_rank_parity(python, vectorized, tolerance: float = 1e-9) -> None:
+    for agent in sorted(set(python.ranks) | set(vectorized.ranks)):
+        assert vectorized.ranks.get(agent, 0.0) == pytest.approx(
+            python.ranks.get(agent, 0.0), abs=tolerance
+        )
+
+
+#: Metric configurations covering every branch the kernel specializes.
+APPLESEED_CONFIGS = [
+    {},
+    {"normalization": "nonlinear"},
+    {"backward_propagation": False},
+    {"distrust_mode": "one_step"},
+    {"spreading_factor": 0.5, "convergence_threshold": 0.001},
+    {"max_depth": 2},
+    {"max_iterations": 3},
+]
+
+
+# -- appleseed parity --------------------------------------------------------
+
+
+@requires_numpy
+@pytest.mark.parametrize("config", APPLESEED_CONFIGS)
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_appleseed_numpy_matches_oracle(config, data):
+    """Ranks agree within 1e-9; discrete outputs agree exactly."""
+    graph, nodes = data.draw(trust_graphs())
+    source = data.draw(st.sampled_from(nodes))
+    python = Appleseed(engine="python", **config).compute(graph, source)
+    vectorized = Appleseed(engine="numpy", **config).compute(graph, source)
+    _assert_rank_parity(python, vectorized)
+    assert vectorized.iterations == python.iterations
+    assert vectorized.converged == python.converged
+    assert vectorized.neighborhood(0.0) == python.neighborhood(0.0)
+    assert len(vectorized.history) == len(python.history)
+    for numpy_delta, python_delta in zip(vectorized.history, python.history):
+        assert numpy_delta == pytest.approx(python_delta, abs=1e-9)
+
+
+@requires_numpy
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_pagerank_numpy_matches_oracle(data):
+    graph, nodes = data.draw(trust_graphs())
+    source = data.draw(st.sampled_from(nodes))
+    python = PersonalizedPageRank(engine="python").compute(graph, source)
+    vectorized = PersonalizedPageRank(engine="numpy").compute(graph, source)
+    _assert_rank_parity(python, vectorized)
+    assert vectorized.iterations == python.iterations
+    assert vectorized.converged == python.converged
+
+
+@requires_numpy
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_advogato_numpy_matches_oracle_exactly(data):
+    """Flow networks are built in identical order, so the accepted set
+    (which depends on arc insertion order, not just capacities) must be
+    *equal*, not merely close."""
+    graph, nodes = data.draw(trust_graphs())
+    seed = data.draw(st.sampled_from(nodes))
+    target_size = data.draw(st.integers(min_value=1, max_value=20))
+    python = Advogato(target_size=target_size, engine="python").compute(graph, seed)
+    vectorized = Advogato(target_size=target_size, engine="numpy").compute(graph, seed)
+    assert vectorized.accepted == python.accepted
+    assert vectorized.total_flow == python.total_flow
+    assert vectorized.capacities == python.capacities
+
+
+# -- directed edge cases -----------------------------------------------------
+
+
+class TestEdgeCases:
+    def _both(self, graph, source, **config):
+        python = Appleseed(engine="python", **config).compute(graph, source)
+        vectorized = Appleseed(engine="numpy", **config).compute(graph, source)
+        _assert_rank_parity(python, vectorized)
+        assert vectorized.neighborhood(0.0) == python.neighborhood(0.0)
+        return python
+
+    @requires_numpy
+    def test_dangling_sink_absorbs_energy(self):
+        graph = TrustGraph.from_edges([("a", "b", 0.9)])
+        result = self._both(graph, "a")
+        assert result.ranks["b"] > 0.0
+
+    @requires_numpy
+    def test_disconnected_source_ranks_nobody(self):
+        graph = TrustGraph.from_edges([("a", "b", 0.9)])
+        graph.add_node("loner")
+        result = self._both(graph, "loner")
+        assert result.ranks == {}
+        assert result.converged
+
+    @requires_numpy
+    def test_all_negative_edges_rank_nobody(self):
+        graph = TrustGraph.from_edges(
+            [("a", "b", -0.9), ("a", "c", -0.4), ("b", "c", -1.0)]
+        )
+        result = self._both(graph, "a", distrust_mode="one_step")
+        assert result.neighborhood(0.0) == set()
+
+    def test_self_loops_are_rejected(self):
+        graph = TrustGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge("a", "a", 0.5)
+
+    @requires_numpy
+    def test_matrix_rejects_self_loops(self):
+        from repro.perf.trustmatrix import TrustMatrix
+
+        with pytest.raises(ValueError):
+            TrustMatrix.from_edges([("a", "a", 0.5)])
+
+    @requires_numpy
+    def test_edge_back_to_source_matches_oracle(self):
+        # A real positive edge pointing at the source is replaced by the
+        # virtual backward edge in the oracle's quota; the kernel must
+        # not double-count it.
+        graph = TrustGraph.from_edges(
+            [("a", "b", 0.8), ("b", "a", 0.9), ("b", "c", 0.6)]
+        )
+        self._both(graph, "a")
+
+
+# -- resolver ----------------------------------------------------------------
+
+
+class TestResolver:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_trust_engine("fortran")
+
+    def test_python_pins_the_oracle(self):
+        assert resolve_trust_engine("python", size=10**6) == "python"
+
+    @requires_numpy
+    def test_auto_keeps_small_graphs_on_the_oracle(self):
+        assert resolve_trust_engine("auto", size=TRUST_AUTO_THRESHOLD - 1) == "python"
+        assert resolve_trust_engine("auto", size=TRUST_AUTO_THRESHOLD) == "numpy"
+
+    def test_metric_constructors_validate_engine(self):
+        for metric in (Appleseed, PersonalizedPageRank, Advogato):
+            with pytest.raises(ValueError):
+                metric(engine="fortran")
+
+
+# -- sharded sweeps ----------------------------------------------------------
+
+
+@requires_numpy
+class TestRankMany:
+    def test_identical_across_worker_counts(self):
+        """Serial and 1/2/8-worker sharded sweeps return equal results."""
+        from repro.perf.parallel import ParallelExperimentRunner
+
+        graph = _dense_graph()
+        sources = sorted(graph.nodes())[:24]
+        serial = rank_many(graph, sources, engine="numpy")
+        assert [r.source for r in serial] == sources
+        for workers in (1, 2, 8):
+            runner = ParallelExperimentRunner(max_workers=workers)
+            sharded = rank_many(graph, sources, engine="numpy", runner=runner)
+            assert sharded == serial
+
+    def test_numpy_sweep_matches_oracle_sweep(self):
+        graph = _dense_graph()
+        sources = sorted(graph.nodes())[:8]
+        oracle = rank_many(graph, sources, engine="python")
+        vectorized = rank_many(graph, sources, engine="numpy")
+        for python, numpy_result in zip(oracle, vectorized):
+            assert numpy_result.source == python.source
+            _assert_rank_parity(python, numpy_result)
+            assert numpy_result.iterations == python.iterations
+
+    def test_max_depth_falls_back_to_graph_payload(self):
+        """A horizon needs per-source subgraphs; results still agree."""
+        graph = _dense_graph()
+        sources = sorted(graph.nodes())[:4]
+        metric = Appleseed(max_depth=2)
+        swept = rank_many(graph, sources, metric=metric, engine="numpy")
+        for result in swept:
+            direct = Appleseed(max_depth=2, engine="numpy").compute(
+                graph, result.source
+            )
+            assert result == direct
+
+    def test_unknown_source_rejected(self):
+        graph = _dense_graph()
+        with pytest.raises(KeyError):
+            rank_many(graph, ["http://t.example.org/ghost"])
