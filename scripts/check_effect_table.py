@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""CI guard: validate a serialized reprolint effect table.
+
+Fails (exit 1) when the table drifts from the committed schema
+contract — wrong schema id, malformed shape, unsorted keys or atoms,
+or atoms outside the effect vocabulary.  The table is diffed across
+PRs to catch purity regressions, so its format must stay stable.
+
+Usage:  python scripts/check_effect_table.py reprolint-effects.json
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.effects import EFFECT_TABLE_SCHEMA  # noqa: E402
+
+_SIMPLE_ATOMS = frozenset({"io", "clock", "rng", "spawns", "mutates:global"})
+_MUTATES_RE = re.compile(r"^mutates:[A-Za-z_][\w.]*\.[A-Za-z_]\w*$")
+_QUALNAME_RE = re.compile(r"^[A-Za-z_][\w.]*$")
+
+
+def check(path: str) -> list[str]:
+    problems: list[str] = []
+    try:
+        table = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {path}: {exc}"]
+
+    if not isinstance(table, dict):
+        return ["top level must be an object"]
+    if set(table) != {"schema", "functions"}:
+        problems.append(f"top-level keys must be schema+functions, got {sorted(table)}")
+    if table.get("schema") != EFFECT_TABLE_SCHEMA:
+        problems.append(
+            f"schema drift: expected {EFFECT_TABLE_SCHEMA!r}, "
+            f"got {table.get('schema')!r}"
+        )
+    functions = table.get("functions")
+    if not isinstance(functions, dict):
+        return problems + ["'functions' must be an object"]
+
+    names = list(functions)
+    if names != sorted(names):
+        problems.append("function names are not sorted")
+    for name, atoms in functions.items():
+        if not _QUALNAME_RE.match(name):
+            problems.append(f"malformed function name {name!r}")
+        if not isinstance(atoms, list):
+            problems.append(f"{name}: atoms must be a list")
+            continue
+        if atoms != sorted(atoms):
+            problems.append(f"{name}: atoms are not sorted")
+        for atom in atoms:
+            if atom in _SIMPLE_ATOMS or _MUTATES_RE.match(str(atom)):
+                continue
+            problems.append(f"{name}: unknown effect atom {atom!r}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    problems = check(argv[0])
+    for problem in problems:
+        print(f"effect-table: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    table = json.loads(Path(argv[0]).read_text(encoding="utf-8"))
+    print(
+        f"effect-table: ok ({len(table['functions'])} functions, "
+        f"schema {table['schema']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

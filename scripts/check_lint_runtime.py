@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""CI guard: the whole-program lint pass must stay fast.
+
+Runs the full ``repro lint`` invocation (per-file rules, reprograph,
+effect inference, baseline) under a monotonic stopwatch and fails when
+it exceeds the budget — the RL1xx/RL2xx fixpoints are bounded but a
+regression to quadratic behaviour would show up here first, and a lint
+gate nobody waits for is a lint gate nobody runs.
+
+Exit codes: 0 within budget (lint exit 0/1 both count — findings are
+CI's concern, speed is ours), 1 over budget, 2 when the lint itself
+errors (exit 2) or arguments are malformed.
+
+Usage:  python scripts/check_lint_runtime.py [--budget SECONDS] [PATH...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.cli import build_parser, run_lint  # noqa: E402
+from repro.obs import Stopwatch  # noqa: E402
+
+DEFAULT_PATHS = ["src", "tests", "benchmarks", "examples"]
+DEFAULT_BUDGET = 120.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", default=None)
+    parser.add_argument("--budget", type=float, default=DEFAULT_BUDGET,
+                        metavar="SECONDS", help="wall budget (monotonic)")
+    parser.add_argument("--baseline", default=".reprolint-baseline.json")
+    args = parser.parse_args(argv)
+    paths = args.paths or DEFAULT_PATHS
+
+    lint_args = build_parser().parse_args(
+        [*paths, "--baseline", args.baseline, "--effects", "lint-runtime-effects.json"]
+    )
+    watch = Stopwatch().start()
+    code = run_lint(lint_args)
+    elapsed = watch.stop()
+
+    if code == 2:
+        print("lint-runtime: lint errored (exit 2)", file=sys.stderr)
+        return 2
+    verdict = "within" if elapsed <= args.budget else "OVER"
+    print(
+        f"lint-runtime: {elapsed:.1f}s for {' '.join(paths)} "
+        f"({verdict} the {args.budget:.0f}s budget; lint exit {code})"
+    )
+    return 0 if elapsed <= args.budget else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,10 @@ layer (``RL100``–``RL104``):
 * :mod:`repro.analysis.sarif` — SARIF 2.1.0 output for CI code scanning.
 * :mod:`repro.analysis.baseline` — committed baselines so new findings
   fail CI while tracked legacy debt does not.
+* :mod:`repro.analysis.effects` — interprocedural effect inference
+  (``mutates:<Class.field>``, ``io``, ``clock``, ``rng``, ``spawns``)
+  and the cache-coherence/purity rules ``RL200``–``RL203``, plus the
+  ``repro lint --effects`` table.
 
 Run it as ``repro lint <paths>`` or ``python -m repro.analysis <paths>``;
 see :mod:`docs/ANALYSIS.md <docs>` for the rule catalogue.
@@ -37,6 +41,15 @@ see :mod:`docs/ANALYSIS.md <docs>` for the rule catalogue.
 from __future__ import annotations
 
 from .baseline import Baseline, BaselineEntry, BaselineResult
+from .effects import (
+    DEFAULT_CACHE_REGISTRY,
+    EFFECT_TABLE_SCHEMA,
+    CacheSpec,
+    EffectAnalysis,
+    analyze_effects,
+    effect_table,
+    format_effect_table,
+)
 from .engine import (
     Finding,
     GraphRule,
@@ -58,8 +71,12 @@ __all__ = [
     "Baseline",
     "BaselineEntry",
     "BaselineResult",
+    "CacheSpec",
+    "DEFAULT_CACHE_REGISTRY",
     "DEFAULT_GRAPH_RULES",
     "DEFAULT_RULES",
+    "EFFECT_TABLE_SCHEMA",
+    "EffectAnalysis",
     "Finding",
     "GraphRule",
     "LintEngine",
@@ -67,7 +84,10 @@ __all__ = [
     "Rule",
     "RuleContext",
     "all_rule_codes",
+    "analyze_effects",
+    "effect_table",
     "findings_to_sarif",
+    "format_effect_table",
     "format_findings",
     "format_findings_json",
     "format_findings_sarif",

@@ -10,9 +10,13 @@ Invoked as ``repro lint`` (via :mod:`repro.cli`) or directly as
     python -m repro.analysis src --select RL001,RL100
     python -m repro.analysis src tests --baseline .reprolint-baseline.json
     python -m repro.analysis src --baseline b.json --write-baseline
+    python -m repro.analysis src --effects effects.json
 
 Every invocation runs the per-file rules (RL001–RL009) *and* the
-whole-program reprograph rules (RL100–RL104) in one pass.
+whole-program rules (RL100–RL104 reprograph, RL200–RL203 effect
+inference) in one pass.  ``--effects FILE`` additionally serializes the
+inferred per-function effect table (``-`` for stdout) so purity
+regressions show up as diffs.
 
 With ``--baseline FILE``, findings matching the committed baseline are
 reported as tracked legacy debt and do not fail the run; new findings
@@ -32,9 +36,11 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from .baseline import Baseline
+from .effects import format_effect_table
 from .engine import Finding, LintEngine, format_findings, format_findings_json
 from .rules import DEFAULT_GRAPH_RULES, DEFAULT_RULES, all_rule_codes
 from .sarif import format_findings_sarif
+from .symbols import ProjectIndex
 
 __all__ = ["build_parser", "main", "run_lint"]
 
@@ -87,6 +93,15 @@ def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
         help="regenerate --baseline FILE from the current findings and exit",
     )
     parser.add_argument(
+        "--effects",
+        default=None,
+        metavar="FILE",
+        help=(
+            "also write the inferred per-function effect table as "
+            "deterministic JSON ('-' for stdout)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -135,6 +150,15 @@ def run_lint(args: argparse.Namespace) -> int:
         DEFAULT_RULES, select=select, graph_rules=DEFAULT_GRAPH_RULES
     )
     findings = engine.lint_project(args.paths)
+
+    if getattr(args, "effects", None) is not None:
+        table = format_effect_table(
+            ProjectIndex.build(LintEngine.discover(args.paths))
+        )
+        if args.effects == "-":
+            print(table)
+        else:
+            Path(args.effects).write_text(table + "\n", encoding="utf-8")
 
     def write_sarif(reported: list[Finding]) -> None:
         if args.sarif is not None:

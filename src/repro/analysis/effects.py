@@ -1,0 +1,1246 @@
+"""Interprocedural effect inference and the cache-coherence rules (RL200–RL203).
+
+The paper's architecture assumes long-lived machine agents that keep
+ingesting trust statements and ratings *while* serving recommendations
+(§2, §4.1).  Our runtime caches — :class:`ProfileStore`'s profile dict
+and packed matrix, the taxonomy builder's path/descriptor memos, the
+rating predictor's weight cache, :class:`TrustGraph`'s positive-successor
+index — are invalidated by convention only, which makes "incremental
+everything" a stale-read minefield: one missed ``invalidate()`` in a
+daemon silently serves yesterday's scores forever.
+
+This module computes, per function, a conservative **effect set** over a
+small vocabulary of atoms:
+
+``mutates:<Class.field>``
+    an attribute of ``self`` or of a typed parameter/attribute is
+    (re)assigned, deleted, or container-mutated (``.clear()``,
+    ``[k] = v``, ``+=``, ...); ``Class`` is the fully-qualified class.
+``mutates:global``
+    a module-level binding is rebound (``global``) or container-mutated.
+``io`` / ``clock`` / ``rng`` / ``spawns``
+    file/stream traffic, wall/monotonic clock reads, module-level RNG
+    draws (seeded ``random.Random``/``default_rng`` construction and
+    draws on injected generator objects are *not* effects — that is the
+    RL001 contract), and process/thread pool creation.
+
+Direct effects are extracted from each body, then propagated to callers
+via a fixpoint over the :class:`~repro.analysis.symbols.ProjectIndex`
+call graph (the RL101 ``returns_tainted`` pattern), resolving
+``self.attr.method()`` chains through a lightweight type environment
+(dataclass field annotations, ``self.x = param`` in ``__init__``,
+constructor-typed locals) and unwrapping ``functools.partial`` plus the
+``map``/``map_seeded``/``map_chunked``/``submit`` dispatchers exactly as
+RL102 does.  Constructing a class does **not** import its ``__init__``
+effects: initializing a fresh object is not a mutation of pre-existing
+state.  Like every reprograph pass this is best-effort static analysis —
+dynamic dispatch and untyped receivers stay unresolved, erring toward
+silence, never toward noise.
+
+On top of the inferred table sit four graph rules:
+
+``RL200``
+    cache coherence — a declarative :data:`DEFAULT_CACHE_REGISTRY` maps
+    cache fields to the backing state they derive from; any function
+    that mutates backing state while a registered cache owner is in
+    scope (``self``, a typed attribute, a typed parameter) must also
+    reach the paired invalidation, and anything *named* like an
+    invalidator must clear every registered field of every visible
+    owner (no partial invalidation).
+``RL201``
+    purity contract — query entry points (``recommend``,
+    ``peer_weights``, ``top_similar``, ``predict``, the trust metrics'
+    ``compute``, the perf kernels) must carry no ``mutates:*`` effect
+    outside the declared cache fields.
+``RL202``
+    seeded randomness, interprocedurally — no ``rng`` effect may reach a
+    query/experiment entry point; randomness must arrive as a seeded
+    ``random.Random`` parameter (RL001 generalized across calls).
+``RL203``
+    layer hygiene — no ``io``/``clock`` effects inside ``repro.core``/
+    ``repro.trust``/``repro.perf``; instrumentation through
+    :mod:`repro.obs` (Stopwatch, tracer, metrics) is allowlisted by
+    recomputing the fixpoint with ``repro.obs.*`` callees ignored.
+
+``repro lint --effects FILE`` serializes the table as deterministic JSON
+(:data:`EFFECT_TABLE_SCHEMA`, sorted keys) so future PRs can diff purity
+regressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import weakref
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from .dataflow import FORK_DISPATCH_METHODS, ForkSafetyRule
+from .engine import Finding, GraphRule
+from .symbols import FunctionInfo, ModuleInfo, ProjectIndex, dotted_name
+
+__all__ = [
+    "CacheCoherenceRule",
+    "CacheSpec",
+    "DEFAULT_CACHE_REGISTRY",
+    "EFFECT_TABLE_SCHEMA",
+    "EffectAnalysis",
+    "LayerPurityRule",
+    "PURE_ENTRY_POINTS",
+    "PurityContractRule",
+    "SeededRandomnessRule",
+    "analyze_effects",
+    "effect_table",
+    "format_effect_table",
+]
+
+#: Schema identifier stamped into every serialized effect table; CI
+#: fails on drift (scripts/check_effect_table.py).
+EFFECT_TABLE_SCHEMA = "reprolint-effects/1"
+
+EFFECT_IO = "io"
+EFFECT_CLOCK = "clock"
+EFFECT_RNG = "rng"
+EFFECT_SPAWNS = "spawns"
+MUTATES_GLOBAL = "mutates:global"
+
+#: Seeded RNG construction is fine (the RL001 convention); drawing from
+#: the module-level generators is the effect.
+_SEEDED_CONSTRUCTORS = frozenset({"Random", "SystemRandom", "default_rng", "Generator"})
+_RANDOM_MODULES = frozenset({"random", "np.random", "numpy.random"})
+
+#: Wall/monotonic clock reads (the RL007 set plus sleeps and datetime).
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.thread_time",
+        "time.sleep",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Bare builtins that touch streams.
+_IO_CALLS = frozenset({"open", "print", "input", "breakpoint"})
+#: Unambiguous IO method names (pathlib/urllib); deliberately *not*
+#: bare ``write``/``read``, which collide with domain methods.
+_IO_METHOD_NAMES = frozenset(
+    {
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+        "urlopen",
+        "urlretrieve",
+        "makedirs",
+    }
+)
+_IO_PREFIXES = ("shutil.", "socket.", "sys.stdout.", "sys.stderr.", "os.")
+#: ``os.`` calls that only read process-local facts, not the world.
+_IO_EXEMPT = frozenset({"os.cpu_count", "os.getpid", "os.getcwd"})
+
+_SPAWN_PREFIXES = ("subprocess.", "multiprocessing.")
+_SPAWN_NAMES = frozenset(
+    {"ProcessPoolExecutor", "ThreadPoolExecutor", "Pool", "Process", "Popen", "fork"}
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "pop",
+        "popitem",
+        "clear",
+        "setdefault",
+        "remove",
+        "discard",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Functions whose *name* promises invalidation (RL200's partial-
+#: invalidation check only applies to these, so cache *fills* like
+#: ``ProfileStore.profile`` are never mistaken for incomplete clears).
+_INVALIDATOR_RE = re.compile(r"invalidate|_reset_cache|drop_cache", re.IGNORECASE)
+
+#: Instrumentation layer whose callees RL201/RL203 ignore.
+_OBS_PREFIX = "repro.obs"
+
+
+# ---------------------------------------------------------------------------
+# The declarative cache registry (RL200/RL201).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """One coherence pairing: cache fields and the state they mirror.
+
+    ``backing`` lists fully-qualified *fields* whose mutation invalidates
+    the caches; ``caches`` maps each owner class to its cache fields.  A
+    spec with empty ``backing`` declares caches over immutable state
+    (coherent by construction) purely so RL201 can allowlist the fills.
+    """
+
+    name: str
+    backing: tuple[str, ...]
+    caches: tuple[tuple[str, tuple[str, ...]], ...]
+    invalidate_hint: str
+
+    @property
+    def backing_atoms(self) -> frozenset[str]:
+        return frozenset(f"mutates:{field}" for field in self.backing)
+
+    def cache_atoms(self, owner: str) -> frozenset[str]:
+        for candidate, fields in self.caches:
+            if candidate == owner:
+                return frozenset(f"mutates:{owner}.{field}" for field in fields)
+        return frozenset()
+
+    @property
+    def owners(self) -> tuple[str, ...]:
+        return tuple(owner for owner, _ in self.caches)
+
+    @property
+    def all_cache_atoms(self) -> frozenset[str]:
+        atoms: set[str] = set()
+        for owner, _ in self.caches:
+            atoms |= self.cache_atoms(owner)
+        return frozenset(atoms)
+
+
+_DATASET = "repro.core.models.Dataset"
+_PROFILE_STORE = "repro.core.recommender.ProfileStore"
+_PURE_CF = "repro.core.recommender.PureCFRecommender"
+_PREDICTOR = "repro.core.prediction.RatingPredictor"
+_TRUST_GRAPH = "repro.trust.graph.TrustGraph"
+_TAXONOMY = "repro.core.taxonomy.Taxonomy"
+_BUILDER = "repro.core.profiles.TaxonomyProfileBuilder"
+_DIVERSIFIER = "repro.core.diversify.TopicDiversifier"
+_PROFILE_MATRIX = "repro.perf.matrix.ProfileMatrix"
+
+#: The repository's cache-coherence pairings.  Every cache field named
+#: here is also RL201's allowlist: filling a declared cache is not a
+#: purity violation.
+DEFAULT_CACHE_REGISTRY: tuple[CacheSpec, ...] = (
+    CacheSpec(
+        name="profile-caches",
+        backing=(
+            f"{_DATASET}.agents",
+            f"{_DATASET}.products",
+            f"{_DATASET}.ratings",
+            f"{_DATASET}.trust",
+        ),
+        caches=(
+            (_PROFILE_STORE, ("_cache", "_matrix")),
+            (_PURE_CF, ("_product_profiles", "_product_matrix")),
+            (_PREDICTOR, ("_weight_cache",)),
+        ),
+        invalidate_hint=(
+            "ProfileStore.invalidate() / PureCFRecommender.invalidate_cache() "
+            "(a RatingPredictor must be rebuilt)"
+        ),
+    ),
+    CacheSpec(
+        name="trust-successor-cache",
+        backing=(f"{_TRUST_GRAPH}._succ", f"{_TRUST_GRAPH}._pred"),
+        caches=((_TRUST_GRAPH, ("_pos_succ",)),),
+        invalidate_hint=(
+            "maintain _pos_succ in the same mutator, as add_edge/remove_edge do"
+        ),
+    ),
+    CacheSpec(
+        name="taxonomy-caches",
+        backing=(
+            f"{_TAXONOMY}._parent",
+            f"{_TAXONOMY}._children",
+            f"{_TAXONOMY}._labels",
+            f"{_TAXONOMY}._depth",
+        ),
+        caches=(
+            (_BUILDER, ("_path_cache", "_descriptor_cache")),
+            (_DIVERSIFIER, ("_profile_cache",)),
+        ),
+        invalidate_hint=(
+            "TaxonomyProfileBuilder.invalidate() / TopicDiversifier.invalidate()"
+        ),
+    ),
+    CacheSpec(
+        name="packed-matrix-lazy-fields",
+        backing=(),
+        caches=((_PROFILE_MATRIX, ("_dense_sq", "_topic_rows")),),
+        invalidate_hint=(
+            "ProfileMatrix is immutable after construction; its lazily "
+            "derived fields are coherent by construction"
+        ),
+    ),
+)
+
+
+#: Query entry points bound by the RL201 purity contract and the RL202
+#: randomness contract: (module prefix, method/function names).
+PURE_ENTRY_POINTS: tuple[tuple[str, frozenset[str]], ...] = (
+    ("repro.core.neighborhood", frozenset({"form"})),
+    ("repro.core.prediction", frozenset({"predict", "predict_many"})),
+    ("repro.core.recommender", frozenset({"recommend", "peer_weights"})),
+    ("repro.core.similarity", frozenset({"top_similar"})),
+    ("repro.core.diversify", frozenset({"rerank", "ils"})),
+    (
+        "repro.perf.engine",
+        frozenset({"community_scores", "rank_profiles"}),
+    ),
+    (
+        "repro.perf.kernels",
+        frozenset(
+            {"pearson_many", "cosine_many", "similarity_many", "top_k", "top_k_pairs"}
+        ),
+    ),
+    ("repro.trust", frozenset({"compute", "rank_many"})),
+)
+
+#: Layers that must stay free of io/clock effects (RL203).
+_PURE_LAYER_PREFIXES = ("repro.core", "repro.trust", "repro.perf")
+
+
+def _module_in(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+def _is_entry_point(func: FunctionInfo) -> bool:
+    short = func.name.rpartition(".")[2]
+    return any(
+        _module_in(func.module, prefix) and short in names
+        for prefix, names in PURE_ENTRY_POINTS
+    )
+
+
+# ---------------------------------------------------------------------------
+# Effect inference.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ScanContext:
+    """Per-function environment for direct-effect extraction."""
+
+    module: ModuleInfo
+    class_name: str | None  #: enclosing ``Class`` (dotted for nesting)
+    self_class: str | None  #: fully qualified, when a method
+    params: dict[str, str]  #: parameter name → class qualname
+    locals: dict[str, str]  #: constructor-typed locals → class qualname
+    bound: set[str]  #: locally bound names (params, stores, nested defs)
+    global_decls: set[str]  #: names declared ``global``
+
+
+class EffectAnalysis:
+    """Direct effects + call edges for one project, with cached fixpoints.
+
+    Shared by all four RL2xx rules through :func:`analyze_effects`, so
+    one lint invocation pays for one inference pass regardless of how
+    many rules consume it.
+    """
+
+    def __init__(self, project: ProjectIndex) -> None:
+        self.project = project
+        #: class qualname → attribute name → type qualname.
+        self.class_attr_types: dict[str, dict[str, str]] = {}
+        self._class_names: set[str] = {
+            f"{module.name}.{cls}"
+            for module in project.modules.values()
+            for cls in module.classes
+        }
+        self.direct: dict[str, set[str]] = {}
+        self.callees: dict[str, set[str]] = {}
+        #: caller → callee → class qualnames whose ``mutates:`` atoms do
+        #: NOT propagate along that edge: every call site invokes the
+        #: method on a locally-constructed receiver, so its
+        #: self-mutations are invisible to the caller's callers
+        #: (``sub = TrustGraph(); sub.add_edge(...)`` builds fresh state,
+        #: it doesn't mutate shared state).  io/clock/rng/spawns always
+        #: propagate.
+        self.edge_masks: dict[str, dict[str, frozenset[str]]] = {}
+        #: function → effect → human-readable origin ("time.perf_counter").
+        self.origins: dict[str, dict[str, str]] = {}
+        self.param_types: dict[str, dict[str, str]] = {}
+        self._tables: dict[bool, dict[str, frozenset[str]]] = {}
+        self._build_class_table()
+        for func in project.functions():
+            self._scan(func)
+
+    # -- the type environment ------------------------------------------------
+
+    def _build_class_table(self) -> None:
+        for name in sorted(self.project.modules):
+            module = self.project.modules[name]
+            for cls_name in sorted(module.classes):
+                node = module.classes[cls_name]
+                qual = f"{module.name}.{cls_name}"
+                attrs: dict[str, str] = {}
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        typed = self._annotation_class(module, stmt.annotation)
+                        if typed is not None:
+                            attrs[stmt.target.id] = typed
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        if stmt.name in ("__init__", "__post_init__"):
+                            self._harvest_init(module, stmt, attrs)
+                self.class_attr_types[qual] = attrs
+
+    def _harvest_init(
+        self,
+        module: ModuleInfo,
+        init: ast.FunctionDef | ast.AsyncFunctionDef,
+        attrs: dict[str, str],
+    ) -> None:
+        """``self.x = <typed thing>`` assignments type the attribute."""
+        param_types = self._parameter_types(module, init)
+        for stmt in ast.walk(init):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+                if isinstance(target, ast.Attribute):
+                    typed = self._annotation_class(module, stmt.annotation)
+                    if (
+                        typed is not None
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.setdefault(target.attr, typed)
+                        continue
+            if (
+                target is None
+                or not isinstance(target, ast.Attribute)
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != "self"
+            ):
+                continue
+            typed = self._value_class(module, value, param_types)
+            if typed is not None:
+                attrs.setdefault(target.attr, typed)
+
+    def _value_class(
+        self,
+        module: ModuleInfo,
+        value: ast.expr | None,
+        param_types: dict[str, str],
+    ) -> str | None:
+        if isinstance(value, ast.Name):
+            return param_types.get(value.id)
+        if isinstance(value, ast.Call):
+            resolved = self.project.resolve_call(module, value.func)
+            if resolved in self._class_names:
+                return resolved
+        if isinstance(value, ast.BoolOp) and isinstance(value.op, ast.Or):
+            for operand in value.values:
+                typed = self._value_class(module, operand, param_types)
+                if typed is not None:
+                    return typed
+        return None
+
+    def _parameter_types(
+        self, module: ModuleInfo, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> dict[str, str]:
+        types: dict[str, str] = {}
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.arg in ("self", "cls") or arg.annotation is None:
+                continue
+            typed = self._annotation_class(module, arg.annotation)
+            if typed is not None:
+                types[arg.arg] = typed
+        return types
+
+    def _annotation_class(
+        self, module: ModuleInfo, annotation: ast.expr
+    ) -> str | None:
+        """Resolve an annotation to a class qualname, unwrapping unions.
+
+        ``ProfileStore | None``, ``Optional[TrustGraph]`` and string
+        annotations all resolve; generics (``dict[str, float]``) do not
+        name a stateful receiver class and return ``None``.
+        """
+        node: ast.expr | None = annotation
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            for side in (node.left, node.right):
+                typed = self._annotation_class(module, side)
+                if typed is not None:
+                    return typed
+            return None
+        if isinstance(node, ast.Subscript):
+            base = dotted_name(node.value)
+            if base is not None and base.rpartition(".")[2] == "Optional":
+                inner = node.slice
+                return self._annotation_class(module, inner)
+            return None
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = dotted_name(node)
+            if dotted is None or dotted in ("None",):
+                return None
+            head, _, rest = dotted.partition(".")
+            resolved = module.bindings.get(head, head)
+            full = f"{resolved}.{rest}" if rest else resolved
+            return full if full != "None" else None
+        return None
+
+    # -- per-function scan ---------------------------------------------------
+
+    def _scan(self, func: FunctionInfo) -> None:
+        module = self.project.modules[func.module]
+        class_name = func.name.rpartition(".")[0] or None
+        ctx = _ScanContext(
+            module=module,
+            class_name=class_name,
+            self_class=f"{module.name}.{class_name}" if class_name else None,
+            params=self._parameter_types(module, func.node),
+            locals={},
+            bound=ForkSafetyRule._locally_bound_names(func.node),
+            global_decls=set(),
+        )
+        self._type_locals(ctx, func.node)
+        direct: set[str] = set()
+        origins: dict[str, str] = {}
+        callees: dict[str, set[str]] = {}
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Global):
+                ctx.global_decls.update(node.names)
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._write_target(target, ctx, direct, origins)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                if not (isinstance(node, ast.AnnAssign) and node.value is None):
+                    self._write_target(node.target, ctx, direct, origins)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    self._write_target(target, ctx, direct, origins)
+            elif isinstance(node, ast.Call):
+                self._classify_call(node, ctx, direct, origins, callees)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                binding = ctx.module.globals.get(node.id)
+                if (
+                    binding is not None
+                    and binding.kind == "rng"
+                    and node.id not in ctx.bound
+                ):
+                    direct.add(EFFECT_RNG)
+                    origins.setdefault(EFFECT_RNG, f"module global {node.id!r}")
+        self.direct[func.qualname] = direct
+        self.origins[func.qualname] = origins
+        self.callees[func.qualname] = set(callees)
+        self.edge_masks[func.qualname] = {
+            callee: frozenset(mask) for callee, mask in callees.items() if mask
+        }
+        self.param_types[func.qualname] = ctx.params
+
+    def _type_locals(
+        self, ctx: _ScanContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        """One forward pass typing constructor-assigned locals."""
+        for stmt in ast.walk(node):
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(stmt.value, ast.Call):
+                resolved = self.project.resolve_call(
+                    ctx.module, stmt.value.func, ctx.class_name
+                )
+                if resolved in self._class_names:
+                    ctx.locals[target.id] = resolved
+
+    # -- receivers -----------------------------------------------------------
+
+    def _stateful_receiver(self, expr: ast.expr, ctx: _ScanContext) -> str | None:
+        """Class qualname when *expr* names caller-visible state.
+
+        ``self``, typed parameters, and typed-attribute chains rooted in
+        them qualify.  Locals do **not**: mutating a freshly constructed
+        object is not an effect on pre-existing state.
+        """
+        if isinstance(expr, ast.Name):
+            if expr.id == "self":
+                return ctx.self_class
+            return ctx.params.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self._stateful_receiver(expr.value, ctx)
+            if base is not None:
+                return self.class_attr_types.get(base, {}).get(expr.attr)
+        return None
+
+    def _receiver_class(self, expr: ast.expr, ctx: _ScanContext) -> str | None:
+        """Like :meth:`_stateful_receiver` but also types locals and
+        constructor results — used only for *call* resolution."""
+        if isinstance(expr, ast.Name):
+            if expr.id == "self":
+                return ctx.self_class
+            return ctx.params.get(expr.id) or ctx.locals.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self._receiver_class(expr.value, ctx)
+            if base is not None:
+                return self.class_attr_types.get(base, {}).get(expr.attr)
+        if isinstance(expr, ast.Call):
+            resolved = self.project.resolve_call(ctx.module, expr.func, ctx.class_name)
+            if resolved in self._class_names:
+                return resolved
+        return None
+
+    # -- writes --------------------------------------------------------------
+
+    def _write_target(
+        self,
+        target: ast.expr,
+        ctx: _ScanContext,
+        direct: set[str],
+        origins: dict[str, str],
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._write_target(elt, ctx, direct, origins)
+        elif isinstance(target, ast.Starred):
+            self._write_target(target.value, ctx, direct, origins)
+        elif isinstance(target, ast.Name):
+            if target.id in ctx.global_decls:
+                direct.add(MUTATES_GLOBAL)
+                origins.setdefault(MUTATES_GLOBAL, f"global {target.id}")
+        elif isinstance(target, ast.Subscript):
+            self._write_through(target.value, ctx, direct, origins)
+        elif isinstance(target, ast.Attribute):
+            cls = self._stateful_receiver(target.value, ctx)
+            if cls is not None:
+                atom = f"mutates:{cls}.{target.attr}"
+                direct.add(atom)
+                origins.setdefault(atom, f"assignment to .{target.attr}")
+            else:
+                self._write_through(target.value, ctx, direct, origins)
+
+    def _write_through(
+        self,
+        container: ast.expr,
+        ctx: _ScanContext,
+        direct: set[str],
+        origins: dict[str, str],
+    ) -> None:
+        """A store *through* a container expression mutates the container."""
+        if isinstance(container, ast.Subscript):
+            self._write_through(container.value, ctx, direct, origins)
+        elif isinstance(container, ast.Attribute):
+            cls = self._stateful_receiver(container.value, ctx)
+            if cls is not None:
+                atom = f"mutates:{cls}.{container.attr}"
+                direct.add(atom)
+                origins.setdefault(atom, f"store through .{container.attr}")
+        elif isinstance(container, ast.Name):
+            name = container.id
+            if name in ctx.global_decls or (
+                name in ctx.module.globals and name not in ctx.bound
+            ):
+                direct.add(MUTATES_GLOBAL)
+                origins.setdefault(MUTATES_GLOBAL, f"store through global {name!r}")
+
+    # -- calls ---------------------------------------------------------------
+
+    def _resolve_call_target(self, call: ast.Call, ctx: _ScanContext) -> str | None:
+        """Type-aware call resolution: typed receivers beat name lookup."""
+        if isinstance(call.func, ast.Attribute):
+            receiver = self._receiver_class(call.func.value, ctx)
+            if receiver is not None:
+                candidate = f"{receiver}.{call.func.attr}"
+                if self.project.function(candidate) is not None:
+                    return candidate
+        return self.project.resolve_call(ctx.module, call.func, ctx.class_name)
+
+    def _function_ref(self, expr: ast.expr, ctx: _ScanContext) -> str | None:
+        """A bare function reference (worker arg), through ``partial``."""
+        node = expr
+        if isinstance(node, ast.Call):
+            target = self.project.resolve_call(ctx.module, node.func, ctx.class_name)
+            if target is None or target.rpartition(".")[2] != "partial":
+                return None
+            if not node.args:
+                return None
+            node = node.args[0]
+        if isinstance(node, ast.Attribute):
+            receiver = self._receiver_class(node.value, ctx)
+            if receiver is not None:
+                candidate = f"{receiver}.{node.attr}"
+                if self.project.function(candidate) is not None:
+                    return candidate
+        qualname = self.project.resolve_call(ctx.module, node, ctx.class_name)
+        if qualname is not None and self.project.function(qualname) is not None:
+            return qualname
+        return None
+
+    @staticmethod
+    def _add_edge(
+        callees: dict[str, set[str]], callee: str, mask: frozenset[str] = frozenset()
+    ) -> None:
+        """Record a call edge; the mask survives only if *every* call
+        site of this callee is masked (intersection semantics)."""
+        if callee in callees:
+            callees[callee] &= mask
+        else:
+            callees[callee] = set(mask)
+
+    def _classify_call(
+        self,
+        call: ast.Call,
+        ctx: _ScanContext,
+        direct: set[str],
+        origins: dict[str, str],
+        callees: dict[str, set[str]],
+    ) -> None:
+        resolved = self._resolve_call_target(call, ctx)
+
+        # functools.partial(worker, ...) defers the worker's effects to
+        # whoever calls the partial; attribute dispatchers (map/submit)
+        # definitely run it — either way the edge is real.
+        if (
+            resolved is not None
+            and resolved.rpartition(".")[2] == "partial"
+            and call.args
+        ):
+            ref = self._function_ref(call.args[0], ctx)
+            if ref is not None:
+                self._add_edge(callees, ref)
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in FORK_DISPATCH_METHODS
+            and call.args
+        ):
+            ref = self._function_ref(call.args[0], ctx)
+            if ref is not None:
+                self._add_edge(callees, ref)
+                direct.add(EFFECT_SPAWNS)
+                origins.setdefault(EFFECT_SPAWNS, f".{call.func.attr}() dispatch")
+
+        if resolved is not None:
+            if self.project.function(resolved) is not None:
+                mask: frozenset[str] = frozenset()
+                if isinstance(call.func, ast.Attribute):
+                    receiver = self._receiver_class(call.func.value, ctx)
+                    if (
+                        receiver is not None
+                        and self._stateful_receiver(call.func.value, ctx) is None
+                    ):
+                        # A method on a freshly-constructed local object:
+                        # its self-mutations stay local to this function.
+                        mask = frozenset({receiver})
+                self._add_edge(callees, resolved, mask)
+                return
+            if resolved in self._class_names:
+                # Constructing a fresh object: its __init__ writes are
+                # initialization, not mutation of caller-visible state.
+                return
+            self._classify_external(call, resolved, direct, origins)
+        self._classify_mutator_call(call, ctx, direct, origins)
+
+    def _classify_external(
+        self,
+        call: ast.Call,
+        resolved: str,
+        direct: set[str],
+        origins: dict[str, str],
+    ) -> None:
+        module_part, _, last = resolved.rpartition(".")
+        if module_part in _RANDOM_MODULES:
+            seeded = last in _SEEDED_CONSTRUCTORS and bool(
+                call.args or call.keywords
+            )
+            if not seeded:
+                direct.add(EFFECT_RNG)
+                origins.setdefault(EFFECT_RNG, resolved)
+            return
+        if resolved in _CLOCK_CALLS:
+            direct.add(EFFECT_CLOCK)
+            origins.setdefault(EFFECT_CLOCK, resolved)
+            return
+        if last in _SPAWN_NAMES or resolved.startswith(_SPAWN_PREFIXES):
+            direct.add(EFFECT_SPAWNS)
+            origins.setdefault(EFFECT_SPAWNS, resolved)
+            if resolved.startswith("subprocess."):
+                direct.add(EFFECT_IO)
+                origins.setdefault(EFFECT_IO, resolved)
+            return
+        if resolved in _IO_EXEMPT:
+            return
+        if (
+            resolved in _IO_CALLS
+            or last in _IO_METHOD_NAMES
+            or resolved.startswith(_IO_PREFIXES)
+        ):
+            direct.add(EFFECT_IO)
+            origins.setdefault(EFFECT_IO, resolved)
+
+    def _classify_mutator_call(
+        self,
+        call: ast.Call,
+        ctx: _ScanContext,
+        direct: set[str],
+        origins: dict[str, str],
+    ) -> None:
+        if not isinstance(call.func, ast.Attribute):
+            return
+        if call.func.attr not in _MUTATOR_METHODS:
+            return
+        base = call.func.value
+        # self._pos_succ[source].pop(...) mutates _pos_succ: peel the
+        # subscripts off to reach the attribute that names the container.
+        while isinstance(base, ast.Subscript):
+            base = base.value
+        if isinstance(base, ast.Attribute):
+            cls = self._stateful_receiver(base.value, ctx)
+            if cls is not None:
+                atom = f"mutates:{cls}.{base.attr}"
+                direct.add(atom)
+                origins.setdefault(atom, f".{base.attr}.{call.func.attr}()")
+        elif isinstance(base, ast.Name):
+            name = base.id
+            if name in ctx.global_decls or (
+                name in ctx.module.globals and name not in ctx.bound
+            ):
+                direct.add(MUTATES_GLOBAL)
+                origins.setdefault(
+                    MUTATES_GLOBAL, f"{name}.{call.func.attr}() on a module global"
+                )
+
+    # -- the fixpoint --------------------------------------------------------
+
+    def effects(self, ignore_obs: bool = False) -> dict[str, frozenset[str]]:
+        """Transitive effects per function.
+
+        With ``ignore_obs`` the propagation skips callees inside
+        :mod:`repro.obs` — the RL201/RL203 allowlist: routing timing and
+        metrics through the observability layer is sanctioned, calling
+        the clock directly is not.
+        """
+        cached = self._tables.get(ignore_obs)
+        if cached is not None:
+            return cached
+        effects = {name: set(atoms) for name, atoms in self.direct.items()}
+        order = sorted(effects)
+        # Monotone fixpoint, same bound as the RL101 taint pass: atoms
+        # only accumulate, so len(functions)+1 rounds always suffice.
+        for _ in range(len(order) + 1):
+            changed = False
+            for name in order:
+                accumulated = effects[name]
+                for callee in self.callees.get(name, ()):
+                    if callee == name:
+                        continue
+                    if ignore_obs and _module_in_obs(callee):
+                        continue
+                    callee_effects = effects.get(callee)
+                    if not callee_effects:
+                        continue
+                    contribution = self._mask_edge(name, callee, callee_effects)
+                    if not contribution <= accumulated:
+                        accumulated |= contribution
+                        changed = True
+            if not changed:
+                break
+        table = {name: frozenset(atoms) for name, atoms in effects.items()}
+        self._tables[ignore_obs] = table
+        return table
+
+    def _mask_edge(
+        self, caller: str, callee: str, atoms: set[str] | frozenset[str]
+    ) -> set[str]:
+        """Atoms flowing from *callee* into *caller*, minus self-mutations
+        of locally-constructed receivers (see :attr:`edge_masks`)."""
+        mask = self.edge_masks.get(caller, {}).get(callee)
+        if not mask:
+            return set(atoms)
+        prefixes = tuple(f"mutates:{cls}." for cls in mask)
+        return {atom for atom in atoms if not atom.startswith(prefixes)}
+
+    # -- rule support ----------------------------------------------------------
+
+    def visible_owners(self, func: FunctionInfo, owners: tuple[str, ...]) -> list[str]:
+        """Registered cache owners in *func*'s static scope, sorted.
+
+        In scope means: *func* is a method of the owner, its class holds
+        a typed attribute of the owner, or a parameter is annotated with
+        the owner.  Locals are excluded — a function that builds its own
+        recommender sees only fresh caches.
+        """
+        visible: set[str] = set()
+        class_name = func.name.rpartition(".")[0] or None
+        self_class = f"{func.module}.{class_name}" if class_name else None
+        if self_class in owners:
+            visible.add(self_class)
+        if self_class is not None:
+            for typed in self.class_attr_types.get(self_class, {}).values():
+                if typed in owners:
+                    visible.add(typed)
+        for typed in self.param_types.get(func.qualname, {}).values():
+            if typed in owners:
+                visible.add(typed)
+        return sorted(visible)
+
+    def witness_path(
+        self, start: str, effect: str, ignore_obs: bool = False
+    ) -> list[str]:
+        """A deterministic call chain from *start* to a direct source of
+        *effect* — the part of the message that makes RL202/RL203
+        actionable."""
+        table = self.effects(ignore_obs)
+        path = [start]
+        current = start
+        while effect not in self.direct.get(current, ()):
+            candidates = [
+                callee
+                for callee in sorted(self.callees.get(current, ()))
+                if callee not in path
+                and not (ignore_obs and _module_in_obs(callee))
+                and effect
+                in self._mask_edge(current, callee, table.get(callee, frozenset()))
+            ]
+            if not candidates:
+                break
+            current = candidates[0]
+            path.append(current)
+        return path
+
+    def origin_of(self, qualname: str, effect: str) -> str:
+        return self.origins.get(qualname, {}).get(effect, effect)
+
+
+def _module_in_obs(qualname: str) -> bool:
+    return qualname == _OBS_PREFIX or qualname.startswith(_OBS_PREFIX + ".")
+
+
+#: One analysis per ProjectIndex: all four rules (and the effect table)
+#: share a single inference pass within a lint invocation.
+_ANALYSES: "weakref.WeakKeyDictionary[ProjectIndex, EffectAnalysis]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def analyze_effects(project: ProjectIndex) -> EffectAnalysis:
+    """The (memoized) effect analysis for *project*."""
+    analysis = _ANALYSES.get(project)
+    if analysis is None:
+        analysis = EffectAnalysis(project)
+        _ANALYSES[project] = analysis
+    return analysis
+
+
+# ---------------------------------------------------------------------------
+# The serialized effect table (``repro lint --effects``).
+# ---------------------------------------------------------------------------
+
+
+def effect_table(project: ProjectIndex) -> dict[str, object]:
+    """Deterministic JSON-ready effect table for every indexed function."""
+    effects = analyze_effects(project).effects()
+    return {
+        "schema": EFFECT_TABLE_SCHEMA,
+        "functions": {
+            qualname: sorted(atoms) for qualname, atoms in sorted(effects.items())
+        },
+    }
+
+
+def format_effect_table(project: ProjectIndex) -> str:
+    return json.dumps(effect_table(project), indent=2, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# RL200 — cache coherence.
+# ---------------------------------------------------------------------------
+
+
+class CacheCoherenceRule(GraphRule):
+    """RL200: backing-state mutation must reach the paired invalidation.
+
+    Two checks per :class:`CacheSpec`:
+
+    * a function whose effects mutate the spec's backing state, with a
+      cache owner statically in scope, must also (transitively) mutate
+      **all** of that owner's cache fields — reaching the owner's
+      ``invalidate`` confers exactly those effects;
+    * a function *named* like an invalidator that clears some of the
+      spec's cache fields must clear every field of every visible owner
+      — partial invalidation is how the packed matrix goes stale while
+      the profile dict looks fresh.
+    """
+
+    code = "RL200"
+    summary = "backing-state mutation leaves a registered cache stale"
+
+    def __init__(self, registry: tuple[CacheSpec, ...] = DEFAULT_CACHE_REGISTRY):
+        self.registry = registry
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        analysis = analyze_effects(project)
+        effects = analysis.effects()
+        for func in project.functions():
+            atoms = effects.get(func.qualname, frozenset())
+            module = project.modules[func.module]
+            for spec in self.registry:
+                yield from self._check_backing(
+                    analysis, spec, func, atoms, module.path
+                )
+                yield from self._check_invalidator(
+                    analysis, spec, func, atoms, module.path
+                )
+
+    def _check_backing(
+        self,
+        analysis: EffectAnalysis,
+        spec: CacheSpec,
+        func: FunctionInfo,
+        atoms: frozenset[str],
+        path: str,
+    ) -> Iterator[Finding]:
+        touched = atoms & spec.backing_atoms
+        if not touched:
+            return
+        for owner in analysis.visible_owners(func, spec.owners):
+            cache_atoms = spec.cache_atoms(owner)
+            missing = cache_atoms - atoms
+            if not missing:
+                continue
+            fields = ", ".join(sorted(a.rpartition(".")[2] for a in missing))
+            backing = ", ".join(sorted(a.rpartition(":")[2] for a in touched))
+            yield self.finding(
+                path=path,
+                line=func.line,
+                column=func.node.col_offset + 1,
+                message=(
+                    f"{func.qualname} mutates {backing} while a "
+                    f"{_short(owner)} is in scope but never invalidates "
+                    f"its cache field(s) {fields} [{spec.name}] — stale "
+                    f"reads follow; call {spec.invalidate_hint}"
+                ),
+            )
+
+    def _check_invalidator(
+        self,
+        analysis: EffectAnalysis,
+        spec: CacheSpec,
+        func: FunctionInfo,
+        atoms: frozenset[str],
+        path: str,
+    ) -> Iterator[Finding]:
+        short = func.name.rpartition(".")[2]
+        if not _INVALIDATOR_RE.search(short):
+            return
+        if not atoms & spec.all_cache_atoms:
+            return
+        for owner in analysis.visible_owners(func, spec.owners):
+            missing = spec.cache_atoms(owner) - atoms
+            if not missing:
+                continue
+            fields = ", ".join(sorted(a.rpartition(".")[2] for a in missing))
+            yield self.finding(
+                path=path,
+                line=func.line,
+                column=func.node.col_offset + 1,
+                message=(
+                    f"{func.qualname} invalidates only part of the "
+                    f"{spec.name} pairing: {_short(owner)}.{{{fields}}} "
+                    f"stay stale — clear every registered field "
+                    f"({spec.invalidate_hint})"
+                ),
+            )
+
+
+def _short(qualname: str) -> str:
+    return qualname.rpartition(".")[2]
+
+
+# ---------------------------------------------------------------------------
+# RL201 — purity contract on query entry points.
+# ---------------------------------------------------------------------------
+
+
+class PurityContractRule(GraphRule):
+    """RL201: query entry points mutate nothing beyond declared caches.
+
+    Effects are computed with :mod:`repro.obs` callees ignored (metric
+    counters are sanctioned instrumentation); every remaining
+    ``mutates:*`` atom outside :data:`DEFAULT_CACHE_REGISTRY`'s declared
+    cache fields is a contract violation.
+    """
+
+    code = "RL201"
+    summary = "query entry point carries an undeclared mutation effect"
+
+    def __init__(self, registry: tuple[CacheSpec, ...] = DEFAULT_CACHE_REGISTRY):
+        self.allowed = frozenset().union(
+            *(spec.all_cache_atoms for spec in registry)
+        )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        analysis = analyze_effects(project)
+        effects = analysis.effects(ignore_obs=True)
+        for func in project.functions():
+            if not _is_entry_point(func):
+                continue
+            atoms = effects.get(func.qualname, frozenset())
+            undeclared = sorted(
+                atom
+                for atom in atoms
+                if atom.startswith("mutates:") and atom not in self.allowed
+            )
+            if not undeclared:
+                continue
+            module = project.modules[func.module]
+            yield self.finding(
+                path=module.path,
+                line=func.line,
+                column=func.node.col_offset + 1,
+                message=(
+                    f"query entry point {func.qualname} has undeclared "
+                    f"mutation effect(s) {', '.join(undeclared)} — queries "
+                    f"must be pure apart from the registered caches "
+                    f"(docs/ANALYSIS.md cache registry)"
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# RL202 — seeded randomness, interprocedurally.
+# ---------------------------------------------------------------------------
+
+
+class SeededRandomnessRule(GraphRule):
+    """RL202: no ``rng`` effect may reach a query/experiment entry point.
+
+    RL001 bans module-level draws per file; this closes the loophole of
+    hiding one behind a helper.  Drawing from an injected, seeded
+    ``random.Random`` parameter produces no ``rng`` atom at all, so the
+    sanctioned pattern passes by construction.
+    """
+
+    code = "RL202"
+    summary = "entry point transitively draws from the module-level RNG"
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        analysis = analyze_effects(project)
+        effects = analysis.effects()
+        for func in project.functions():
+            if not self._covered(func):
+                continue
+            if EFFECT_RNG not in effects.get(func.qualname, frozenset()):
+                continue
+            path = analysis.witness_path(func.qualname, EFFECT_RNG)
+            origin = analysis.origin_of(path[-1], EFFECT_RNG)
+            module = project.modules[func.module]
+            via = " -> ".join(path)
+            yield self.finding(
+                path=module.path,
+                line=func.line,
+                column=func.node.col_offset + 1,
+                message=(
+                    f"{func.qualname} reaches module-level randomness "
+                    f"({origin}) via {via} — thread a seeded "
+                    f"random.Random through instead (RL001's contract, "
+                    f"across calls)"
+                ),
+            )
+
+    @staticmethod
+    def _covered(func: FunctionInfo) -> bool:
+        if _is_entry_point(func):
+            return True
+        short = func.name.rpartition(".")[2]
+        return _module_in(func.module, "repro.evaluation") and bool(
+            re.match(r"run_ex\d", short)
+        )
+
+
+# ---------------------------------------------------------------------------
+# RL203 — no io/clock in the pure layers.
+# ---------------------------------------------------------------------------
+
+
+class LayerPurityRule(GraphRule):
+    """RL203: ``repro.core``/``trust``/``perf`` stay io- and clock-free.
+
+    Timing belongs to :class:`repro.obs.Stopwatch` and tracer spans —
+    the obs layer is allowlisted by ignoring its callees in the fixpoint.
+    Only the function that *introduces* the effect into the layer is
+    flagged (direct use, or a call into an impure module elsewhere), so
+    one offender yields one finding instead of flagging every caller up
+    the chain.
+    """
+
+    code = "RL203"
+    summary = "io/clock effect inside the core/trust/perf layers"
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        analysis = analyze_effects(project)
+        effects = analysis.effects(ignore_obs=True)
+        for func in project.functions():
+            if not any(
+                _module_in(func.module, prefix) for prefix in _PURE_LAYER_PREFIXES
+            ):
+                continue
+            atoms = effects.get(func.qualname, frozenset())
+            for effect in (EFFECT_CLOCK, EFFECT_IO):
+                if effect not in atoms:
+                    continue
+                if self._inherited_in_layer(analysis, effects, func, effect):
+                    continue  # the in-layer callee is the one flagged
+                path = analysis.witness_path(func.qualname, effect, ignore_obs=True)
+                origin = analysis.origin_of(path[-1], effect)
+                module = project.modules[func.module]
+                hint = (
+                    "route timing through repro.obs.Stopwatch / tracer spans"
+                    if effect == EFFECT_CLOCK
+                    else "move the io to datasets/web/cli or inject the data"
+                )
+                yield self.finding(
+                    path=module.path,
+                    line=func.line,
+                    column=func.node.col_offset + 1,
+                    message=(
+                        f"{func.qualname} acquires a '{effect}' effect "
+                        f"({origin}, via {' -> '.join(path)}) inside the "
+                        f"pure layers — {hint}"
+                    ),
+                )
+
+    @staticmethod
+    def _inherited_in_layer(
+        analysis: EffectAnalysis,
+        effects: dict[str, frozenset[str]],
+        func: FunctionInfo,
+        effect: str,
+    ) -> bool:
+        for callee in analysis.callees.get(func.qualname, ()):
+            if _module_in_obs(callee):
+                continue
+            if effect not in effects.get(callee, frozenset()):
+                continue
+            if callee.startswith(tuple(p + "." for p in _PURE_LAYER_PREFIXES)):
+                return True
+        return False

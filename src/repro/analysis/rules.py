@@ -60,6 +60,26 @@ here as :data:`DEFAULT_GRAPH_RULES`:
 ``RL104``  import-time cycle (:mod:`repro.analysis.graph`)
 ========  ==============================================================
 
+The effect-inference rules (:mod:`repro.analysis.effects`) sit on the
+same ``ProjectIndex`` and make incremental updates safe:
+
+========  ==============================================================
+``RL200``  cache coherence — mutating the backing state of a registered
+           cache (the :data:`~repro.analysis.effects.DEFAULT_CACHE_REGISTRY`
+           pairings) without reaching the paired invalidation, or an
+           invalidator that clears only part of a pairing
+``RL201``  purity contract — query entry points (``recommend``,
+           ``top_similar``, ``predict``, trust ``compute``, perf
+           kernels) carry no ``mutates:*`` effect beyond the declared
+           cache fields
+``RL202``  unseeded randomness, interprocedurally — an ``rng`` effect
+           reaches an entry point through the call graph instead of an
+           injected seeded ``random.Random`` (RL001 across calls)
+``RL203``  io/clock effect inside ``repro.core``/``trust``/``perf`` —
+           timing belongs to :mod:`repro.obs` (allowlisted), file and
+           network traffic to datasets/web/cli
+========  ==============================================================
+
 Suppress a deliberate exception with ``# reprolint: disable=RLxxx`` on
 the offending line.
 """
@@ -72,6 +92,12 @@ from collections.abc import Iterator
 
 from .contracts import ArchitectureContractRule
 from .dataflow import ForkSafetyRule, TaintRule
+from .effects import (
+    CacheCoherenceRule,
+    LayerPurityRule,
+    PurityContractRule,
+    SeededRandomnessRule,
+)
 from .engine import Finding, GraphRule, Rule, RuleContext
 from .graph import DeadModuleRule, ImportCycleRule
 
@@ -698,6 +724,10 @@ DEFAULT_GRAPH_RULES: tuple[GraphRule, ...] = (
     ForkSafetyRule(),
     DeadModuleRule(),
     ImportCycleRule(),
+    CacheCoherenceRule(),
+    PurityContractRule(),
+    SeededRandomnessRule(),
+    LayerPurityRule(),
 )
 
 

@@ -224,7 +224,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint",
         help=(
             "reprolint: domain-aware static analysis "
-            "(RL001..RL009 file rules + RL100..RL104 graph rules)"
+            "(RL001..RL009 file rules + RL100..RL104 graph rules "
+            "+ RL200..RL203 effect rules)"
         ),
     )
     lint.add_argument("paths", nargs="+",
@@ -239,6 +240,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="baseline file of accepted legacy findings")
     lint.add_argument("--write-baseline", action="store_true",
                       help="regenerate --baseline FILE from current findings")
+    lint.add_argument("--effects", default=None, metavar="FILE",
+                      help="also write the inferred per-function effect "
+                           "table as deterministic JSON ('-' for stdout)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
 

@@ -97,6 +97,14 @@ class TopicDiversifier:
             self._profile_cache[identifier] = cached
         return cached
 
+    def invalidate(self) -> None:
+        """Drop cached product topic profiles.
+
+        Required after in-place taxonomy edits (RL200's taxonomy-caches
+        pairing); rating churn alone never stales this cache.
+        """
+        self._profile_cache.clear()
+
     def rerank(
         self, candidates: list[Recommendation], limit: int = 10
     ) -> list[Recommendation]:

@@ -118,6 +118,18 @@ class TaxonomyProfileBuilder:
 
     # -- public API -----------------------------------------------------------
 
+    def invalidate(self) -> None:
+        """Drop the memoized path distributions and descriptor lists.
+
+        Both caches are keyed on taxonomy structure (and frozen product
+        descriptors), so they survive any amount of rating churn — but a
+        process that edits its taxonomy in place (the streaming-update
+        path the ROADMAP plans) must call this or serve profiles built
+        against the old topic tree (RL200's taxonomy-caches pairing).
+        """
+        self._path_cache.clear()
+        self._descriptor_cache.clear()
+
     def build(
         self,
         ratings: Mapping[str, float],

@@ -302,6 +302,15 @@ class SemanticWebRecommender(Recommender):
         exclude = set(self.dataset.ratings_of(agent))
         return _vote(self.dataset, weights, exclude, limit)
 
+    def invalidate_cache(self, agent: str | None = None) -> None:
+        """Drop cached profiles (and the packed matrix) after mutation.
+
+        Long-lived agents keep ingesting ratings while serving queries;
+        call this after every dataset mutation — for one *agent* when a
+        single rating arrived, with no argument after bulk changes.
+        """
+        self.profiles.invalidate(agent)
+
 
 @dataclass
 class PureCFRecommender(Recommender):
@@ -364,13 +373,17 @@ class PureCFRecommender(Recommender):
         return self._product_matrix
 
     def invalidate_cache(self) -> None:
-        """Drop cached product vectors and packed matrices.
+        """Drop every cached view of the dataset's ratings.
 
-        Call after mutating the dataset's ratings; taxonomy-mode caches
-        live in the shared :class:`ProfileStore` (invalidate that too).
+        Call after mutating the dataset.  Taxonomy-mode profiles and the
+        packed community matrix live in the shared :class:`ProfileStore`,
+        so it is invalidated too — dropping only the product-mode caches
+        left taxonomy-mode queries serving stale scores (RL200).
         """
         self._product_profiles.clear()
         self._product_matrix = None
+        if self.profiles is not None:
+            self.profiles.invalidate()
 
     def _domain(self) -> Domain:
         if self.representation == "taxonomy":

@@ -127,3 +127,14 @@ class TestTopicDiversifier:
         first = diversifier.rerank(list(candidates), limit=4)
         second = diversifier.rerank(list(candidates), limit=4)
         assert first == second
+
+
+class TestDiversifierInvalidate:
+    def test_invalidate_drops_profile_cache(self, figure1):
+        diversifier = TopicDiversifier(taxonomy=figure1, products=_products())
+        stale = diversifier.profile("alg1")
+        assert diversifier.profile("alg1") is stale
+        diversifier.invalidate()
+        fresh = diversifier.profile("alg1")
+        assert fresh is not stale
+        assert fresh == stale  # same taxonomy, same content

@@ -216,3 +216,29 @@ class TestBaselineProfiles:
         ratings = {"isbn:1": 1.0, "isbn:2": -0.5}
         assert product_profile(ratings) == ratings
         assert product_profile(ratings) is not ratings
+
+
+class TestBuilderInvalidate:
+    def test_invalidate_drops_both_memo_caches(self, figure1):
+        builder = TaxonomyProfileBuilder(figure1)
+        products = {
+            "alg": Product(
+                identifier="alg", title="alg", descriptors=frozenset({"Algebra"})
+            )
+        }
+        builder.build({"alg": 1.0}, products)
+        assert builder._path_cache and builder._descriptor_cache
+        builder.invalidate()
+        assert not builder._path_cache
+        assert not builder._descriptor_cache
+
+    def test_rebuild_after_invalidate_is_identical(self, figure1):
+        builder = TaxonomyProfileBuilder(figure1)
+        products = {
+            "alg": Product(
+                identifier="alg", title="alg", descriptors=frozenset({"Algebra"})
+            )
+        }
+        before = builder.build({"alg": 1.0}, products)
+        builder.invalidate()
+        assert builder.build({"alg": 1.0}, products) == before

@@ -233,3 +233,73 @@ class TestPipelineOnGeneratedCommunity:
         assert len(recs) > 0
         assert all(r.product in dataset.products for r in recs)
         assert all(r.score > 0 for r in recs)
+
+
+class TestCacheInvalidation:
+    """RL200 regressions: every invalidator must reach the shared store.
+
+    The paper's long-lived machine agents ingest ratings *while* serving
+    recommendations; on the seed, ``PureCFRecommender.invalidate_cache``
+    dropped only the product-mode caches and taxonomy-mode queries kept
+    serving profiles built before the mutation.
+    """
+
+    def test_pure_cf_taxonomy_invalidation_reaches_shared_store(
+        self, tiny_dataset, figure1
+    ):
+        store = ProfileStore(tiny_dataset, TaxonomyProfileBuilder(figure1))
+        recommender = PureCFRecommender(dataset=tiny_dataset, profiles=store)
+        recommender.recommend(ALICE)  # fill the shared profile cache
+        stale = store.profile(ALICE)
+        assert "Literature" not in stale
+
+        tiny_dataset.add_rating(Rating(agent=ALICE, product="isbn:4", value=1.0))
+        recommender.invalidate_cache()
+
+        fresh = store.profile(ALICE)
+        assert fresh is not stale
+        assert "Literature" in fresh
+
+    def test_pure_cf_taxonomy_invalidation_drops_packed_matrix(
+        self, tiny_dataset, figure1
+    ):
+        store = ProfileStore(tiny_dataset, TaxonomyProfileBuilder(figure1))
+        recommender = PureCFRecommender(dataset=tiny_dataset, profiles=store)
+        before = store.matrix()
+        recommender.invalidate_cache()
+        assert store.matrix() is not before
+
+    def test_pure_cf_product_mode_still_drops_own_caches(self, tiny_dataset):
+        recommender = PureCFRecommender(
+            dataset=tiny_dataset, representation="product"
+        )
+        recommender.recommend(ALICE)
+        assert recommender._product_profiles
+        recommender.invalidate_cache()
+        assert not recommender._product_profiles
+        assert recommender._product_matrix is None
+
+    def test_semantic_web_recommender_invalidate_all(self, tiny_dataset, figure1):
+        recommender = SemanticWebRecommender.from_dataset(tiny_dataset, figure1)
+        recommender.peer_weights(ALICE)
+        stale = recommender.profiles.profile(ALICE)
+
+        tiny_dataset.add_rating(Rating(agent=ALICE, product="isbn:4", value=1.0))
+        recommender.invalidate_cache()
+
+        fresh = recommender.profiles.profile(ALICE)
+        assert fresh is not stale
+        assert "Literature" in fresh
+
+    def test_semantic_web_recommender_invalidate_single_agent(
+        self, tiny_dataset, figure1
+    ):
+        recommender = SemanticWebRecommender.from_dataset(tiny_dataset, figure1)
+        recommender.peer_weights(ALICE)
+        alice_before = recommender.profiles.profile(ALICE)
+        bob_before = recommender.profiles.profile(BOB)
+
+        recommender.invalidate_cache(ALICE)
+
+        assert recommender.profiles.profile(ALICE) is not alice_before
+        assert recommender.profiles.profile(BOB) is bob_before
