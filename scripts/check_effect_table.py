@@ -2,9 +2,13 @@
 """CI guard: validate a serialized reprolint effect table.
 
 Fails (exit 1) when the table drifts from the committed schema
-contract — wrong schema id, malformed shape, unsorted keys or atoms,
-or atoms outside the effect vocabulary.  The table is diffed across
-PRs to catch purity regressions, so its format must stay stable.
+contract — wrong schema id, malformed shape, unsorted keys, atoms or
+guard tokens, or entries outside the effect/guard vocabulary.  Since
+``reprolint-effects/2`` each function maps to an object with an
+``effects`` list (the atom vocabulary) and a ``guards`` list (the lock
+tokens the function acquires).  The table is diffed across PRs to
+catch purity and lock-discipline regressions, so its format must stay
+stable.
 
 Usage:  python scripts/check_effect_table.py reprolint-effects.json
 """
@@ -23,6 +27,7 @@ from repro.analysis.effects import EFFECT_TABLE_SCHEMA  # noqa: E402
 _SIMPLE_ATOMS = frozenset({"io", "clock", "rng", "spawns", "mutates:global"})
 _MUTATES_RE = re.compile(r"^mutates:[A-Za-z_][\w.]*\.[A-Za-z_]\w*$")
 _QUALNAME_RE = re.compile(r"^[A-Za-z_][\w.]*$")
+_GUARD_RE = re.compile(r"^guard:(?:local:)?[A-Za-z_][\w.]*$")
 
 
 def check(path: str) -> list[str]:
@@ -48,18 +53,31 @@ def check(path: str) -> list[str]:
     names = list(functions)
     if names != sorted(names):
         problems.append("function names are not sorted")
-    for name, atoms in functions.items():
+    for name, entry in functions.items():
         if not _QUALNAME_RE.match(name):
             problems.append(f"malformed function name {name!r}")
-        if not isinstance(atoms, list):
-            problems.append(f"{name}: atoms must be a list")
+        if not isinstance(entry, dict) or set(entry) != {"effects", "guards"}:
+            problems.append(f"{name}: entry must be an object with effects+guards")
             continue
-        if atoms != sorted(atoms):
-            problems.append(f"{name}: atoms are not sorted")
-        for atom in atoms:
-            if atom in _SIMPLE_ATOMS or _MUTATES_RE.match(str(atom)):
-                continue
-            problems.append(f"{name}: unknown effect atom {atom!r}")
+        atoms = entry["effects"]
+        guards = entry["guards"]
+        if not isinstance(atoms, list):
+            problems.append(f"{name}: effects must be a list")
+        else:
+            if atoms != sorted(atoms):
+                problems.append(f"{name}: effects are not sorted")
+            for atom in atoms:
+                if atom in _SIMPLE_ATOMS or _MUTATES_RE.match(str(atom)):
+                    continue
+                problems.append(f"{name}: unknown effect atom {atom!r}")
+        if not isinstance(guards, list):
+            problems.append(f"{name}: guards must be a list")
+        else:
+            if guards != sorted(guards):
+                problems.append(f"{name}: guards are not sorted")
+            for guard in guards:
+                if not _GUARD_RE.match(str(guard)):
+                    problems.append(f"{name}: malformed guard token {guard!r}")
     return problems
 
 

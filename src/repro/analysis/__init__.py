@@ -32,7 +32,14 @@ layer (``RL100``–``RL104``):
 * :mod:`repro.analysis.effects` — interprocedural effect inference
   (``mutates:<Class.field>``, ``io``, ``clock``, ``rng``, ``spawns``)
   and the cache-coherence/purity rules ``RL200``–``RL203``, plus the
-  ``repro lint --effects`` table.
+  ``repro lint --effects`` table (schema ``reprolint-effects/2`` with a
+  per-function ``guards`` lock-set column).
+* :mod:`repro.analysis.concurrency` — RacerD-style lock-set inference
+  over the effect fixpoint and the concurrency-safety rules
+  ``RL300``–``RL303`` (shared-state race, check-then-act, non-atomic
+  invalidate/rebuild, blocking-under-guard), treating the
+  :mod:`repro.util.sync` primitives (``GuardedCache``, ``AtomicSwap``,
+  ``ReentrantGuard``) as sanitizers.
 
 Run it as ``repro lint <paths>`` or ``python -m repro.analysis <paths>``;
 see :mod:`docs/ANALYSIS.md <docs>` for the rule catalogue.
@@ -41,6 +48,16 @@ see :mod:`docs/ANALYSIS.md <docs>` for the rule catalogue.
 from __future__ import annotations
 
 from .baseline import Baseline, BaselineEntry, BaselineResult
+from .concurrency import (
+    CONCURRENT_ROOTS,
+    SWAP_PUBLISHED_FIELDS,
+    AtomicPublishRule,
+    BlockingUnderGuardRule,
+    CheckThenActRule,
+    ConcurrencyAnalysis,
+    SharedStateRaceRule,
+    analyze_concurrency,
+)
 from .effects import (
     DEFAULT_CACHE_REGISTRY,
     EFFECT_TABLE_SCHEMA,
@@ -68,10 +85,15 @@ from .sarif import findings_to_sarif, format_findings_sarif
 from .symbols import ProjectIndex
 
 __all__ = [
+    "AtomicPublishRule",
     "Baseline",
     "BaselineEntry",
     "BaselineResult",
+    "BlockingUnderGuardRule",
+    "CONCURRENT_ROOTS",
     "CacheSpec",
+    "CheckThenActRule",
+    "ConcurrencyAnalysis",
     "DEFAULT_CACHE_REGISTRY",
     "DEFAULT_GRAPH_RULES",
     "DEFAULT_RULES",
@@ -83,7 +105,10 @@ __all__ = [
     "ProjectIndex",
     "Rule",
     "RuleContext",
+    "SWAP_PUBLISHED_FIELDS",
+    "SharedStateRaceRule",
     "all_rule_codes",
+    "analyze_concurrency",
     "analyze_effects",
     "effect_table",
     "findings_to_sarif",

@@ -16,12 +16,14 @@ orchestration sit on top::
             │    │        │      semweb│
             └────┴────┬───┴────────┴───┘
                     core                         ── §3.1 model + pipeline
-                     obs                         ── tracing / metrics
+                  obs util                       ── tracing / sync primitives
                   (analysis: self-contained)
 
-``obs`` (tracing, metrics, the monotonic stopwatch) sits *below* core:
-instrumentation must be importable from every layer without creating an
-upward edge, and it depends on nothing but the standard library.
+``obs`` (tracing, metrics, the monotonic stopwatch) and ``util`` (the
+sanctioned concurrency primitives of :mod:`repro.util.sync`) sit *below*
+core: instrumentation and guarded-cache plumbing must be importable from
+every layer without creating an upward edge, and both depend on nothing
+but the standard library.
 
 A contract names, for each layer, the set of *internal* layers it may
 import at module scope.  Violations are RL100 findings anchored at the
@@ -64,6 +66,7 @@ __all__ = [
 _SUBSYSTEMS = frozenset(
     {
         "obs",
+        "util",
         "core",
         "trust",
         "perf",
@@ -92,19 +95,21 @@ class LayerContract:
         default_factory=lambda: {
             # Tracing/metrics/stopwatch: stdlib only, importable from all.
             "obs": frozenset(),
+            # Sanctioned sync primitives: stdlib only, importable from all.
+            "util": frozenset(),
             # The §3.1 information model and pipeline math; may emit
             # telemetry but depends on no other subsystem.
-            "core": frozenset({"obs"}),
+            "core": frozenset({"obs", "util"}),
             # Trust metrics operate on core's models and score contract.
-            "trust": frozenset({"core", "obs"}),
+            "trust": frozenset({"core", "obs", "util"}),
             # The vectorized engines reproduce core's numeric conventions.
-            "perf": frozenset({"core", "obs"}),
+            "perf": frozenset({"core", "obs", "util"}),
             # RDF/FOAF documents serialize core models.
-            "semweb": frozenset({"core", "obs"}),
+            "semweb": frozenset({"core", "obs", "util"}),
             # The simulated Web ingests documents into core models.
-            "web": frozenset({"core", "semweb", "obs"}),
+            "web": frozenset({"core", "semweb", "obs", "util"}),
             # Synthetic stand-ins for the crawled §4 datasets.
-            "datasets": frozenset({"core", "obs"}),
+            "datasets": frozenset({"core", "obs", "util"}),
             # reprolint/reprograph: self-contained, imports nothing internal.
             "analysis": frozenset(),
             # Experiments drive every subsystem.

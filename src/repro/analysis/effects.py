@@ -64,7 +64,17 @@ On top of the inferred table sit four graph rules:
 
 ``repro lint --effects FILE`` serializes the table as deterministic JSON
 (:data:`EFFECT_TABLE_SCHEMA`, sorted keys) so future PRs can diff purity
-regressions.
+regressions.  Schema ``reprolint-effects/2`` carries, per function, both
+the effect atoms and the inferred lock set (``guards``) computed by the
+RL300-series pass in :mod:`repro.analysis.concurrency`.
+
+The sanctioned primitives of :mod:`repro.util.sync` get special
+classification: ``cache.get_or_build``/``store``/``invalidate``/
+``swap``/``clear`` on a typed :class:`GuardedCache`/:class:`AtomicSwap`
+attribute count as mutations of *that field* (so the RL200/RL201
+registry pairings keep their ``ProfileStore._cache``-style atom names
+instead of leaking ``GuardedCache._data`` internals), and the builder
+passed to ``get_or_build`` becomes a call edge so its effects propagate.
 """
 
 from __future__ import annotations
@@ -89,15 +99,21 @@ __all__ = [
     "LayerPurityRule",
     "PURE_ENTRY_POINTS",
     "PurityContractRule",
+    "SYNC_MODULE",
+    "SYNC_GUARDED_METHODS",
+    "SYNC_MUTATOR_METHODS",
+    "SYNC_PRIMITIVE_CLASSES",
     "SeededRandomnessRule",
     "analyze_effects",
     "effect_table",
     "format_effect_table",
+    "is_sync_primitive",
 ]
 
 #: Schema identifier stamped into every serialized effect table; CI
-#: fails on drift (scripts/check_effect_table.py).
-EFFECT_TABLE_SCHEMA = "reprolint-effects/1"
+#: fails on drift (scripts/check_effect_table.py).  ``/2`` added the
+#: per-function ``guards`` lock set next to ``effects``.
+EFFECT_TABLE_SCHEMA = "reprolint-effects/2"
 
 EFFECT_IO = "io"
 EFFECT_CLOCK = "clock"
@@ -179,6 +195,25 @@ _INVALIDATOR_RE = re.compile(r"invalidate|_reset_cache|drop_cache", re.IGNORECAS
 
 #: Instrumentation layer whose callees RL201/RL203 ignore.
 _OBS_PREFIX = "repro.obs"
+
+#: The sanctioned concurrency primitives (sanitizers for RL300–RL303).
+SYNC_MODULE = "repro.util.sync"
+SYNC_PRIMITIVE_CLASSES = frozenset({"GuardedCache", "AtomicSwap", "ReentrantGuard"})
+#: Primitive methods that (re)write the owning field's contents in a
+#: caller-visible way.  ``get_or_build`` is deliberately absent: a
+#: memoized fill through the sanctioned primitive is semantically a
+#: guarded *read* (idempotent, invisible to any caller), so memoizing a
+#: reader must not turn it into a writer in the effect lattice.
+SYNC_MUTATOR_METHODS = frozenset({"store", "invalidate", "swap", "clear"})
+#: Primitive methods that enter the guard's critical section — what the
+#: concurrency analysis treats as implicit lock acquisitions.
+SYNC_GUARDED_METHODS = SYNC_MUTATOR_METHODS | frozenset({"get_or_build"})
+
+
+def is_sync_primitive(class_qualname: str) -> bool:
+    """Whether *class_qualname* names one of the ``repro.util.sync`` primitives."""
+    module_part, _, short = class_qualname.rpartition(".")
+    return module_part == SYNC_MODULE and short in SYNC_PRIMITIVE_CLASSES
 
 
 # ---------------------------------------------------------------------------
@@ -475,9 +510,13 @@ class EffectAnalysis:
     ) -> str | None:
         """Resolve an annotation to a class qualname, unwrapping unions.
 
-        ``ProfileStore | None``, ``Optional[TrustGraph]`` and string
-        annotations all resolve; generics (``dict[str, float]``) do not
-        name a stateful receiver class and return ``None``.
+        ``ProfileStore | None``, ``Optional[TrustGraph]``, string
+        annotations, and subscripted generics all resolve —
+        ``GuardedCache[str, Profile]`` types the attribute as
+        ``repro.util.sync.GuardedCache`` so the sync-primitive
+        classification below sees through parameterized fields.  A base
+        that is not a project class (``dict[str, float]``) resolves to a
+        name no downstream table knows, which is equivalent to ``None``.
         """
         node: ast.expr | None = annotation
         if isinstance(node, ast.Constant) and isinstance(node.value, str):
@@ -496,7 +535,7 @@ class EffectAnalysis:
             if base is not None and base.rpartition(".")[2] == "Optional":
                 inner = node.slice
                 return self._annotation_class(module, inner)
-            return None
+            return self._annotation_class(module, node.value)
         if isinstance(node, (ast.Name, ast.Attribute)):
             dotted = dotted_name(node)
             if dotted is None or dotted in ("None",):
@@ -509,7 +548,12 @@ class EffectAnalysis:
 
     # -- per-function scan ---------------------------------------------------
 
-    def _scan(self, func: FunctionInfo) -> None:
+    def _context(self, func: FunctionInfo) -> _ScanContext:
+        """The per-function scan environment.
+
+        Shared with :mod:`repro.analysis.concurrency`, whose block-level
+        walk re-classifies the same accesses with lock-set context.
+        """
         module = self.project.modules[func.module]
         class_name = func.name.rpartition(".")[0] or None
         ctx = _ScanContext(
@@ -522,12 +566,16 @@ class EffectAnalysis:
             global_decls=set(),
         )
         self._type_locals(ctx, func.node)
-        direct: set[str] = set()
-        origins: dict[str, str] = {}
-        callees: dict[str, set[str]] = {}
         for node in ast.walk(func.node):
             if isinstance(node, ast.Global):
                 ctx.global_decls.update(node.names)
+        return ctx
+
+    def _scan(self, func: FunctionInfo) -> None:
+        ctx = self._context(func)
+        direct: set[str] = set()
+        origins: dict[str, str] = {}
+        callees: dict[str, set[str]] = {}
         for node in ast.walk(func.node):
             if isinstance(node, ast.Assign):
                 for target in node.targets:
@@ -739,6 +787,16 @@ class EffectAnalysis:
                 direct.add(EFFECT_SPAWNS)
                 origins.setdefault(EFFECT_SPAWNS, f".{call.func.attr}() dispatch")
 
+        # Calls on a repro.util.sync primitive: classify against the
+        # *owning field* and never descend into the primitive's body, so
+        # registry atoms keep their domain names (ProfileStore._cache,
+        # not GuardedCache._data).
+        if isinstance(call.func, ast.Attribute):
+            receiver_cls = self._receiver_class(call.func.value, ctx)
+            if receiver_cls is not None and is_sync_primitive(receiver_cls):
+                self._classify_sync_call(call, ctx, direct, origins, callees)
+                return
+
         if resolved is not None:
             if self.project.function(resolved) is not None:
                 mask: frozenset[str] = frozenset()
@@ -759,6 +817,36 @@ class EffectAnalysis:
                 return
             self._classify_external(call, resolved, direct, origins)
         self._classify_mutator_call(call, ctx, direct, origins)
+
+    def _classify_sync_call(
+        self,
+        call: ast.Call,
+        ctx: _ScanContext,
+        direct: set[str],
+        origins: dict[str, str],
+        callees: dict[str, set[str]],
+    ) -> None:
+        """A method call on a ``repro.util.sync`` primitive.
+
+        Overwriting or clearing the primitive mutates the *field that
+        holds it* (when that field is caller-visible state); the builder
+        callable handed to ``get_or_build`` is a real call edge, but the
+        memoized fill itself is a guarded read, not a mutation.  Plain
+        reads (``get``/``peek``/``snapshot``/``held``) are effect-free.
+        """
+        assert isinstance(call.func, ast.Attribute)
+        method = call.func.attr
+        receiver = call.func.value
+        if method in SYNC_MUTATOR_METHODS and isinstance(receiver, ast.Attribute):
+            cls = self._stateful_receiver(receiver.value, ctx)
+            if cls is not None:
+                atom = f"mutates:{cls}.{receiver.attr}"
+                direct.add(atom)
+                origins.setdefault(atom, f".{receiver.attr}.{method}()")
+        if method == "get_or_build" and call.args:
+            ref = self._function_ref(call.args[-1], ctx)
+            if ref is not None:
+                self._add_edge(callees, ref)
 
     def _classify_external(
         self,
@@ -957,12 +1045,19 @@ def analyze_effects(project: ProjectIndex) -> EffectAnalysis:
 
 
 def effect_table(project: ProjectIndex) -> dict[str, object]:
-    """Deterministic JSON-ready effect table for every indexed function."""
+    """Deterministic JSON-ready effect + lock-set table per function."""
+    from .concurrency import analyze_concurrency  # circular at module scope
+
     effects = analyze_effects(project).effects()
+    guards = analyze_concurrency(project).acquired_guards()
     return {
         "schema": EFFECT_TABLE_SCHEMA,
         "functions": {
-            qualname: sorted(atoms) for qualname, atoms in sorted(effects.items())
+            qualname: {
+                "effects": sorted(atoms),
+                "guards": sorted(guards.get(qualname, frozenset())),
+            }
+            for qualname, atoms in sorted(effects.items())
         },
     }
 

@@ -80,6 +80,27 @@ same ``ProjectIndex`` and make incremental updates safe:
            network traffic to datasets/web/cli
 ========  ==============================================================
 
+The concurrency-safety rules (:mod:`repro.analysis.concurrency`) add
+lock-set inference over the same fixpoint, clearing the runway for the
+query-serving daemon:
+
+========  ==============================================================
+``RL300``  shared-state race — a registered cache field mutated on a
+           path from a concurrent root
+           (:data:`~repro.analysis.concurrency.CONCURRENT_ROOTS`, plus
+           anything that spawns) with an empty inferred lock set
+``RL301``  check-then-act — ``if key not in cache:`` /
+           ``if self._f is None:`` fill on a registry cache field
+           outside any guard (``GuardedCache.get_or_build`` closes the
+           window; double-checked tests under a guard are sanctioned)
+``RL302``  non-atomic invalidate/rebuild — in-place mutation of a
+           publish-by-replacement field, or cache accessors holding
+           guard sets with no common token (inconsistent lock sets)
+``RL303``  blocking-under-guard — an ``io``/``clock``/``spawns`` effect
+           reachable while a guard is held (:mod:`repro.obs`
+           instrumentation allowlisted)
+========  ==============================================================
+
 Suppress a deliberate exception with ``# reprolint: disable=RLxxx`` on
 the offending line.
 """
@@ -90,6 +111,12 @@ import ast
 import re
 from collections.abc import Iterator
 
+from .concurrency import (
+    AtomicPublishRule,
+    BlockingUnderGuardRule,
+    CheckThenActRule,
+    SharedStateRaceRule,
+)
 from .contracts import ArchitectureContractRule
 from .dataflow import ForkSafetyRule, TaintRule
 from .effects import (
@@ -728,6 +755,10 @@ DEFAULT_GRAPH_RULES: tuple[GraphRule, ...] = (
     PurityContractRule(),
     SeededRandomnessRule(),
     LayerPurityRule(),
+    SharedStateRaceRule(),
+    CheckThenActRule(),
+    AtomicPublishRule(),
+    BlockingUnderGuardRule(),
 )
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
+from ..util.sync import GuardedCache
 from .models import Dataset
 
 __all__ = ["RatingPredictor", "predict_rating"]
@@ -84,14 +85,15 @@ class RatingPredictor:
     mean_centered: bool = True
 
     def __post_init__(self) -> None:
-        self._weight_cache: dict[str, Mapping[str, float]] = {}
+        self._weight_cache: GuardedCache[str, Mapping[str, float]] = GuardedCache(
+            "peer-weights"
+        )
 
     def _weights(self, agent: str) -> Mapping[str, float]:
-        cached = self._weight_cache.get(agent)
-        if cached is None:
-            cached = self.weight_provider(agent)  # type: ignore[operator]
-            self._weight_cache[agent] = cached
-        return cached
+        return self._weight_cache.get_or_build(agent, self._build_weights)
+
+    def _build_weights(self, agent: str) -> Mapping[str, float]:
+        return self.weight_provider(agent)  # type: ignore[operator]
 
     def predict(self, agent: str, product: str) -> float | None:
         """Predict one rating; ``None`` when no evidence exists."""

@@ -27,6 +27,7 @@ from collections.abc import Iterable, Mapping
 from typing import Literal as TypingLiteral
 from typing import Optional
 
+from ..util.sync import GuardedCache, ReentrantGuard
 from .models import Product
 from .taxonomy import Taxonomy
 
@@ -109,12 +110,19 @@ class TaxonomyProfileBuilder:
         self.product_weighting = product_weighting
         self.negative_mode = negative_mode
         # Per-topic path distributions are rating-independent, so memoize.
-        self._path_cache: dict[str, dict[str, float]] = {}
+        # Both memo tables share one re-entrant guard so a taxonomy edit's
+        # invalidation clears them as a unit under concurrent builds.
+        self._cache_guard = ReentrantGuard("taxonomy-profile-builder")
+        self._path_cache: GuardedCache[str, dict[str, float]] = GuardedCache(
+            "path-scores", guard=self._cache_guard
+        )
         # Descriptor filtering is product-and-taxonomy-dependent only, yet
         # it used to be re-sorted for every rating of every agent; memoize
         # per product identifier (descriptor sets are frozen on Product and
         # identifiers are globally unique, the paper's ISBN assumption).
-        self._descriptor_cache: dict[str, list[str]] = {}
+        self._descriptor_cache: GuardedCache[str, list[str]] = GuardedCache(
+            "known-descriptors", guard=self._cache_guard
+        )
 
     # -- public API -----------------------------------------------------------
 
@@ -127,8 +135,9 @@ class TaxonomyProfileBuilder:
         path the ROADMAP plans) must call this or serve profiles built
         against the old topic tree (RL200's taxonomy-caches pairing).
         """
-        self._path_cache.clear()
-        self._descriptor_cache.clear()
+        with self._cache_guard:
+            self._path_cache.invalidate()
+            self._descriptor_cache.invalidate()
 
     def build(
         self,
@@ -187,18 +196,16 @@ class TaxonomyProfileBuilder:
         return contributions
 
     def _known_descriptors(self, product: Product) -> list[str]:
-        cached = self._descriptor_cache.get(product.identifier)
-        if cached is None:
-            cached = sorted(t for t in product.descriptors if t in self.taxonomy)
-            self._descriptor_cache[product.identifier] = cached
-        return cached
+        return self._descriptor_cache.get_or_build(
+            product.identifier,
+            lambda _key: sorted(t for t in product.descriptors if t in self.taxonomy),
+        )
 
     def _path_scores(self, topic: str) -> dict[str, float]:
-        cached = self._path_cache.get(topic)
-        if cached is None:
-            cached = descriptor_score_path(self.taxonomy, topic, 1.0)
-            self._path_cache[topic] = cached
-        return cached
+        return self._path_cache.get_or_build(topic, self._build_path_scores)
+
+    def _build_path_scores(self, topic: str) -> dict[str, float]:
+        return descriptor_score_path(self.taxonomy, topic, 1.0)
 
 
 def flat_category_profile(

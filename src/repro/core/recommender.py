@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 
 from ..obs import get_metrics
 from ..trust.graph import TrustGraph
+from ..util.sync import AtomicSwap, GuardedCache, ReentrantGuard
 from .models import Dataset
 from .neighborhood import NeighborhoodFormation, TrustNeighborhood
 from .profiles import Profile, TaxonomyProfileBuilder, product_profile
@@ -76,51 +77,65 @@ class ProfileStore:
     Centralizing the cache matters: experiments recompute similarities for
     thousands of agent pairs and profile construction dominates without it.
     Call :meth:`invalidate` after mutating an agent's ratings.
+
+    Both caches ride one :class:`ReentrantGuard` so the daemon's
+    concurrent readers never observe a half-invalidated store: the
+    profile dict is a :class:`GuardedCache` (atomic get-or-build) and
+    the packed matrix an :class:`AtomicSwap` (publish-by-replacement).
+    Re-entrancy matters because building the matrix builds profiles
+    through the same guard.  Single-threaded behavior is unchanged.
     """
 
     def __init__(self, dataset: Dataset, builder: TaxonomyProfileBuilder) -> None:
         self.dataset = dataset
         self.builder = builder
-        self._cache: dict[str, Profile] = {}
-        self._matrix: "ProfileMatrix | None" = None
+        self._guard = ReentrantGuard("profile-store")
+        self._cache: GuardedCache[str, Profile] = GuardedCache(
+            "profiles", guard=self._guard
+        )
+        self._matrix: "AtomicSwap[ProfileMatrix]" = AtomicSwap(
+            "profile-matrix", guard=self._guard
+        )
 
     def profile(self, agent: str) -> Profile:
         """The taxonomy profile of *agent* (cached)."""
-        cached = self._cache.get(agent)
-        if cached is None:
-            ratings = self.dataset.ratings_of(agent)
-            cached = self.builder.build(ratings, self.dataset.products)
-            self._cache[agent] = cached
-        return cached
+        return self._cache.get_or_build(agent, self._build_profile)
+
+    def _build_profile(self, agent: str) -> Profile:
+        ratings = self.dataset.ratings_of(agent)
+        return self.builder.build(ratings, self.dataset.products)
 
     def matrix(self) -> "ProfileMatrix":
         """The whole community's profiles packed for the numpy engine.
 
         Built lazily on first use (the one call that pays the full
-        O(community) profile construction) and cached until
-        :meth:`invalidate`; requires numpy.
+        O(community) profile construction) and published atomically;
+        dropped by :meth:`invalidate`; requires numpy.
         """
-        if self._matrix is None:
-            from ..perf.matrix import ProfileMatrix
-
-            get_metrics().counter("similarity.matrix_cache.miss").inc()
-            profiles = {agent: self.profile(agent) for agent in self.dataset.agents}
-            self._matrix = ProfileMatrix.from_profiles(profiles)
-        else:
+        cached = self._matrix.get()
+        if cached is not None:
             get_metrics().counter("similarity.matrix_cache.hit").inc()
-        return self._matrix
+            return cached
+        return self._matrix.get_or_build(self._build_matrix)
+
+    def _build_matrix(self) -> "ProfileMatrix":
+        from ..perf.matrix import ProfileMatrix
+
+        get_metrics().counter("similarity.matrix_cache.miss").inc()
+        profiles = {agent: self.profile(agent) for agent in self.dataset.agents}
+        return ProfileMatrix.from_profiles(profiles)
 
     def invalidate(self, agent: str | None = None) -> None:
         """Drop cached profiles (one agent, or all when *agent* is None).
 
         The packed matrix is dropped either way: its rows embed every
-        agent's profile, so any single stale row poisons it.
+        agent's profile, so any single stale row poisons it.  Both drops
+        happen under the shared guard, so a concurrent reader sees the
+        store before or after the invalidation, never between.
         """
-        self._matrix = None
-        if agent is None:
-            self._cache.clear()
-        else:
-            self._cache.pop(agent, None)
+        with self._guard:
+            self._matrix.clear()
+            self._cache.invalidate(agent)
 
 
 def _similarity_function(
@@ -329,11 +344,17 @@ class PureCFRecommender(Recommender):
     similarity_measure: str | None = None
     neighbors: int = 20
     engine: str = "auto"
-    _product_profiles: dict[str, Profile] = field(
-        default_factory=dict, init=False, repr=False, compare=False
+    _product_profiles: GuardedCache[str, Profile] = field(
+        default_factory=lambda: GuardedCache("product-profiles"),
+        init=False,
+        repr=False,
+        compare=False,
     )
-    _product_matrix: "ProfileMatrix | None" = field(
-        default=None, init=False, repr=False, compare=False
+    _product_matrix: "AtomicSwap[ProfileMatrix]" = field(
+        default_factory=lambda: AtomicSwap("product-matrix"),
+        init=False,
+        repr=False,
+        compare=False,
     )
 
     def __post_init__(self) -> None:
@@ -354,23 +375,23 @@ class PureCFRecommender(Recommender):
         if self.representation == "taxonomy":
             assert self.profiles is not None
             return self.profiles.profile(agent)
-        cached = self._product_profiles.get(agent)
-        if cached is None:
-            cached = product_profile(self.dataset.ratings_of(agent))
-            self._product_profiles[agent] = cached
-        return cached
+        return self._product_profiles.get_or_build(agent, self._build_product_profile)
+
+    def _build_product_profile(self, agent: str) -> Profile:
+        return product_profile(self.dataset.ratings_of(agent))
 
     def _matrix(self) -> "ProfileMatrix":
         """The packed community matrix for the active representation."""
         if self.representation == "taxonomy":
             assert self.profiles is not None
             return self.profiles.matrix()
-        if self._product_matrix is None:
-            from ..perf.matrix import ProfileMatrix
+        return self._product_matrix.get_or_build(self._build_product_matrix)
 
-            profiles = {agent: self._profile(agent) for agent in self.dataset.agents}
-            self._product_matrix = ProfileMatrix.from_profiles(profiles)
-        return self._product_matrix
+    def _build_product_matrix(self) -> "ProfileMatrix":
+        from ..perf.matrix import ProfileMatrix
+
+        profiles = {agent: self._profile(agent) for agent in self.dataset.agents}
+        return ProfileMatrix.from_profiles(profiles)
 
     def invalidate_cache(self) -> None:
         """Drop every cached view of the dataset's ratings.
@@ -380,8 +401,8 @@ class PureCFRecommender(Recommender):
         so it is invalidated too — dropping only the product-mode caches
         left taxonomy-mode queries serving stale scores (RL200).
         """
-        self._product_profiles.clear()
-        self._product_matrix = None
+        self._product_profiles.invalidate()
+        self._product_matrix.clear()
         if self.profiles is not None:
             self.profiles.invalidate()
 

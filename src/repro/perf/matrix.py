@@ -34,6 +34,8 @@ from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from ..util.sync import AtomicSwap
+
 __all__ = ["ProfileMatrix", "TopicVocabulary"]
 
 
@@ -105,8 +107,10 @@ class ProfileMatrix:
         self.row_sum = dense.sum(axis=1)
         self.row_sumsq = (dense * dense).sum(axis=1)
         self.row_norm = np.sqrt(self.row_sumsq)
-        self._dense_sq: np.ndarray | None = None
-        self._topic_rows: list[np.ndarray] | None = None
+        # Lazy derived views, published atomically so daemon threads
+        # racing on first use each see either nothing or the final array.
+        self._dense_sq: AtomicSwap[np.ndarray] = AtomicSwap("dense-sq")
+        self._topic_rows: AtomicSwap[list[np.ndarray]] = AtomicSwap("topic-rows")
 
     # -- construction ---------------------------------------------------------
 
@@ -163,18 +167,18 @@ class ProfileMatrix:
         Needed by intersection-domain kernels, whose norms/variances run
         over co-rated coordinates only.
         """
-        if self._dense_sq is None:
-            self._dense_sq = self.dense * self.dense
-        return self._dense_sq
+        return self._dense_sq.get_or_build(self._square)
+
+    def _square(self) -> np.ndarray:
+        return self.dense * self.dense
 
     # -- inverted index -------------------------------------------------------
 
     def _inverted_index(self) -> list[np.ndarray]:
-        if self._topic_rows is None:
-            self._topic_rows = [
-                np.flatnonzero(self.mask[:, col]) for col in range(self.width)
-            ]
-        return self._topic_rows
+        return self._topic_rows.get_or_build(self._build_inverted_index)
+
+    def _build_inverted_index(self) -> list[np.ndarray]:
+        return [np.flatnonzero(self.mask[:, col]) for col in range(self.width)]
 
     def overlapping_rows(self, profile: Mapping[str, float]) -> np.ndarray:
         """Rows whose support shares at least one key with *profile*.

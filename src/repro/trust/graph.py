@@ -20,6 +20,7 @@ from collections.abc import Iterable, Iterator, Mapping
 from typing import TYPE_CHECKING, Optional
 
 from ..core.models import validate_score
+from ..util.sync import GuardedCache, ReentrantGuard
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..core.models import Dataset
@@ -37,15 +38,20 @@ class TrustGraph:
     """
 
     def __init__(self) -> None:
+        self._guard = ReentrantGuard("trust-graph")
         self._succ: dict[str, dict[str, float]] = {}
         self._pred: dict[str, dict[str, float]] = {}
-        # Positive-only successor views, maintained incrementally on every
-        # edge mutation.  The group trust metrics call
-        # :meth:`positive_successors` inside their innermost loops (once
-        # per node per Appleseed quota, once per node per BFS level), and
-        # filtering the full adjacency dict there allocated a fresh dict
-        # per call — the single hottest allocation in the python engine.
-        self._pos_succ: dict[str, dict[str, float]] = {}
+        # Positive-only successor views, built on demand and memoized.
+        # The group trust metrics call :meth:`positive_successors` inside
+        # their innermost loops (once per node per Appleseed quota, once
+        # per node per BFS level), and filtering the full adjacency dict
+        # there allocated a fresh dict per call — the single hottest
+        # allocation in the python engine.  The GuardedCache makes the
+        # memoized fill atomic for the query daemon's concurrent readers;
+        # edge mutations invalidate the touched node under the same guard.
+        self._pos_succ: GuardedCache[str, dict[str, float]] = GuardedCache(
+            "positive-successors", guard=self._guard
+        )
 
     # -- construction -----------------------------------------------------
 
@@ -53,29 +59,29 @@ class TrustGraph:
         """Ensure *node* exists (idempotent)."""
         if not node:
             raise ValueError("node identifier must be non-empty")
-        self._succ.setdefault(node, {})
-        self._pred.setdefault(node, {})
-        self._pos_succ.setdefault(node, {})
+        with self._guard:
+            self._succ.setdefault(node, {})
+            self._pred.setdefault(node, {})
+            self._pos_succ.invalidate(node)
 
     def add_edge(self, source: str, target: str, weight: float) -> None:
         """State ``t_source(target) = weight``; overwrites a prior statement."""
         if source == target:
             raise ValueError("self-trust edges are not allowed")
         weight = validate_score(weight, "trust weight")
-        self.add_node(source)
-        self.add_node(target)
-        self._succ[source][target] = weight
-        self._pred[target][source] = weight
-        if weight > 0.0:
-            self._pos_succ[source][target] = weight
-        else:  # overwriting a positive statement with distrust retracts it
-            self._pos_succ[source].pop(target, None)
+        with self._guard:
+            self.add_node(source)
+            self.add_node(target)
+            self._succ[source][target] = weight
+            self._pred[target][source] = weight
+            self._pos_succ.invalidate(source)
 
     def remove_edge(self, source: str, target: str) -> None:
         """Retract a trust statement; missing edges raise :class:`KeyError`."""
-        del self._succ[source][target]
-        del self._pred[target][source]
-        self._pos_succ[source].pop(target, None)
+        with self._guard:
+            del self._succ[source][target]
+            del self._pred[target][source]
+            self._pos_succ.invalidate(source)
 
     @classmethod
     def from_dataset(cls, dataset: "Dataset") -> "TrustGraph":
@@ -131,11 +137,18 @@ class TrustGraph:
 
         Group trust metrics propagate along trust, never along distrust;
         a negative statement must not lend its target any energy.  The
-        returned mapping is a *cached view* maintained on edge mutation —
-        callers must copy before modifying (as :class:`Appleseed` does
-        when adding its virtual backward edge).
+        returned mapping is a *cached view* memoized per node (edge
+        mutations invalidate it) — callers must copy before modifying (as
+        :class:`Appleseed` does when adding its virtual backward edge).
         """
-        return self._pos_succ.get(node, {})
+        return self._pos_succ.get_or_build(node, self._positive_view)
+
+    def _positive_view(self, node: str) -> dict[str, float]:
+        return {
+            target: weight
+            for target, weight in self._succ.get(node, {}).items()
+            if weight > 0.0
+        }
 
     def out_degree(self, node: str) -> int:
         return len(self._succ.get(node, {}))

@@ -367,14 +367,20 @@ class TestEffectTable:
     FILES = {
         "pkg/__init__.py": "",
         "pkg/m.py": """
+            import threading
             import time
 
             class Store:
                 def __init__(self):
+                    self._lock = threading.Lock()
                     self._cache = {}
 
                 def fill(self, key):
                     self._cache[key] = time.perf_counter()
+
+                def locked_fill(self, key, value):
+                    with self._lock:
+                        self._cache[key] = value
 
             def pure(x):
                 return x + 1
@@ -385,12 +391,25 @@ class TestEffectTable:
         table = effect_table(build_index(tmp_path, self.FILES))
         assert table["schema"] == EFFECT_TABLE_SCHEMA
         assert table["functions"] == {
-            # __init__'s own write is recorded; it simply never
-            # propagates into constructors (fresh-object init is not a
+            # __init__'s own writes are recorded; they simply never
+            # propagate into constructors (fresh-object init is not a
             # caller-visible mutation)
-            "pkg.m.Store.__init__": ["mutates:pkg.m.Store._cache"],
-            "pkg.m.Store.fill": ["clock", "mutates:pkg.m.Store._cache"],
-            "pkg.m.pure": [],
+            "pkg.m.Store.__init__": {
+                "effects": [
+                    "mutates:pkg.m.Store._cache",
+                    "mutates:pkg.m.Store._lock",
+                ],
+                "guards": [],
+            },
+            "pkg.m.Store.fill": {
+                "effects": ["clock", "mutates:pkg.m.Store._cache"],
+                "guards": [],
+            },
+            "pkg.m.Store.locked_fill": {
+                "effects": ["mutates:pkg.m.Store._cache"],
+                "guards": ["guard:pkg.m.Store._lock"],
+            },
+            "pkg.m.pure": {"effects": [], "guards": []},
         }
 
     def test_serialization_is_deterministic(self, tmp_path):

@@ -277,7 +277,7 @@ class TestCacheInvalidation:
         assert recommender._product_profiles
         recommender.invalidate_cache()
         assert not recommender._product_profiles
-        assert recommender._product_matrix is None
+        assert recommender._product_matrix.get() is None
 
     def test_semantic_web_recommender_invalidate_all(self, tiny_dataset, figure1):
         recommender = SemanticWebRecommender.from_dataset(tiny_dataset, figure1)
