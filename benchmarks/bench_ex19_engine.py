@@ -50,7 +50,7 @@ def test_ex19_engine(benchmark):
                 "max_delta": float(max_delta),
             }
         )
-    OUTPUT.write_text(
+    OUTPUT.write_text(  # reprolint: disable=RL010  (predates repro-bench/1)
         json.dumps(
             {"smoke": SMOKE, "principals": PRINCIPALS, "sizes": records}, indent=2
         )

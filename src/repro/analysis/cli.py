@@ -12,7 +12,7 @@ Invoked as ``repro lint`` (via :mod:`repro.cli`) or directly as
     python -m repro.analysis src --baseline b.json --write-baseline
     python -m repro.analysis src --effects effects.json
 
-Every invocation runs the per-file rules (RL001–RL009) *and* the
+Every invocation runs the per-file rules (RL001–RL010) *and* the
 whole-program rules (RL100–RL104 reprograph, RL200–RL203 effect
 inference) in one pass.  ``--effects FILE`` additionally serializes the
 inferred per-function effect table (``-`` for stdout) so purity

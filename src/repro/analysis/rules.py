@@ -1,4 +1,4 @@
-"""The reprolint rule catalogue (``RL001``–``RL009``).
+"""The reprolint rule catalogue (``RL001``–``RL010``).
 
 Each rule encodes one invariant of this reproduction and names the paper
 section or inter-subsystem contract it protects:
@@ -43,6 +43,13 @@ section or inter-subsystem contract it protects:
            the pure-python oracle and silently bypasses the
            ``auto|numpy|python`` resolver
            (:func:`repro.trust.engine.resolve_trust_engine`)
+``RL010``  ``BENCH_*.json`` written around the schema helper — raw
+           ``.write_text()`` / ``json.dump()`` / ``open(…, "w")`` on a
+           benchmark-trajectory file bypasses
+           :func:`repro.evaluation.benchtrack.write_bench` and its
+           ``repro-bench/1`` validation, so the standing perf
+           trajectory forks into ad-hoc schemas the regression gate
+           cannot read
 ========  ==============================================================
 
 The whole-program (reprograph) rules live next door and are registered
@@ -129,6 +136,7 @@ from .engine import Finding, GraphRule, Rule, RuleContext
 from .graph import DeadModuleRule, ImportCycleRule
 
 __all__ = [
+    "BenchSchemaBypassRule",
     "DEFAULT_GRAPH_RULES",
     "DEFAULT_RULES",
     "FloatEqualityOnScoresRule",
@@ -732,6 +740,109 @@ class HardwiredTrustEngineRule(Rule):
             )
 
 
+#: ``BENCH_<name>.json`` — the benchmark-trajectory filename family.
+_BENCH_FILE_RE = re.compile(r"^BENCH_[\w.-]*\.json$")
+
+#: Path methods that write file contents directly.
+_BENCH_WRITER_ATTRS = frozenset({"write_text", "write_bytes"})
+
+
+class BenchSchemaBypassRule(Rule):
+    """RL010: a ``BENCH_*.json`` writer that bypasses ``write_bench``.
+
+    ``repro.evaluation.benchtrack.write_bench`` is the single sanctioned
+    writer of benchmark-trajectory documents: it validates the
+    ``repro-bench/1`` schema before anything touches disk, which is what
+    keeps ``scripts/check_bench_regression.py`` able to read every
+    baseline ever committed.  Flagged: ``X.write_text(...)`` /
+    ``X.write_bytes(...)`` / ``json.dump(...)`` / ``open(…, "w"|"a")``
+    whose argument subtree mentions a ``BENCH_*.json`` string constant —
+    directly, or through a module-level name (``OUTPUT = … /
+    "BENCH_foo.json"``) bound to one.  Pre-``repro-bench/1`` trajectories
+    with their own frozen schemas suppress with
+    ``# reprolint: disable=RL010``.
+    """
+
+    code = "RL010"
+    summary = "BENCH_*.json written around benchtrack.write_bench"
+
+    @staticmethod
+    def _bench_constant(node: ast.AST) -> str | None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Constant) and isinstance(child.value, str):
+                if _BENCH_FILE_RE.match(child.value):
+                    return child.value
+        return None
+
+    @staticmethod
+    def _bench_names(tree: ast.Module) -> dict[str, str]:
+        """Module-level names bound to expressions naming a BENCH file."""
+        names: dict[str, str] = {}
+        for stmt in tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = list(stmt.targets), stmt.value
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            constant = BenchSchemaBypassRule._bench_constant(value)
+            if constant is None:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names[target.id] = constant
+        return names
+
+    @staticmethod
+    def _open_writes(node: ast.Call) -> bool:
+        """``open(..., "w"/"a"/"x")`` — reading a BENCH file is fine."""
+        mode: ast.expr | None = node.args[1] if len(node.args) > 1 else None
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        return (
+            isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str)
+            and any(flag in mode.value for flag in "wax")
+        )
+
+    def _writer_label(self, node: ast.Call) -> str | None:
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _BENCH_WRITER_ATTRS:
+            return f".{node.func.attr}(...)"
+        name = _dotted_name(node.func)
+        short = name.rpartition(".")[2] if name else ""
+        if short == "dump" and name in {"json.dump", "dump"}:
+            return "json.dump(...)"
+        if short == "open":
+            return "open(..., 'w')" if self._open_writes(node) else None
+        return None
+
+    def check(self, tree: ast.Module, context: RuleContext) -> Iterator[Finding]:
+        bench_names = self._bench_names(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._writer_label(node)
+            if label is None:
+                continue
+            target = self._bench_constant(node)
+            if target is None:
+                for child in ast.walk(node):
+                    if isinstance(child, ast.Name) and child.id in bench_names:
+                        target = bench_names[child.id]
+                        break
+            if target is None:
+                continue
+            yield self.finding(
+                node,
+                context,
+                f"{target} written via {label}, bypassing the repro-bench/1 "
+                "schema; route through repro.evaluation.benchtrack.write_bench",
+            )
+
+
 DEFAULT_RULES: tuple[Rule, ...] = (
     UnseededRandomRule(),
     FloatEqualityOnScoresRule(),
@@ -742,6 +853,7 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     WallClockDurationRule(),
     SharedDatasetMutationRule(),
     HardwiredTrustEngineRule(),
+    BenchSchemaBypassRule(),
 )
 
 #: Whole-program rules `repro lint` runs alongside the per-file set.

@@ -19,12 +19,21 @@ Installed as the ``repro`` console script.  Subcommands:
   (score ranges, seeded randomness, tolerance comparisons; see
   ``docs/ANALYSIS.md``)
 * ``repro trace``      — inspect observability artifacts:
-  ``repro trace summarize FILE`` validates a JSONL trace and prints the
-  slowest spans and per-name rollups
+  ``summarize FILE`` validates a JSONL trace and prints the slowest
+  spans and per-name rollups; ``top FILE`` is the profiler view
+  (self-time aggregation + critical path); ``flame FILE`` renders the
+  ASCII flame tree; ``diff A B`` reports structural drift and the spans
+  whose self time moved most (see ``docs/PROFILING.md``)
+* ``repro bench``      — the standing perf trajectory: run the
+  build/query/trust ladder across community sizes with tracing on and
+  write the span-attributed ``BENCH_scale.json``
+  (schema ``repro-bench/1``; gated by
+  ``scripts/check_bench_regression.py``)
 
 ``recommend``, ``crawl`` and ``experiment`` accept ``--trace FILE``
-(write a JSONL span tree of the run) and ``--metrics`` (print the
-counter/histogram summary after the command output); both default off,
+(write a JSONL span tree of the run), ``--metrics`` (print the
+counter/histogram summary after the command output) and ``--memory``
+(stamp per-span tracemalloc deltas into the trace); all default off,
 leaving the near-zero-cost :class:`~repro.obs.NullTracer` bound.
 
 Every command works off the JSONL snapshot format of
@@ -59,11 +68,16 @@ from .obs import (
     MetricsRegistry,
     Tracer,
     collecting,
+    diff_traces,
     get_tracer,
     load_trace,
+    render_diff,
+    render_flame,
+    render_top,
     summarize_trace,
     tracing,
     validate_trace,
+    write_records_jsonl,
 )
 from .trust.advogato import Advogato
 from .trust.appleseed import Appleseed
@@ -224,7 +238,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint",
         help=(
             "reprolint: domain-aware static analysis "
-            "(RL001..RL009 file rules + RL100..RL104 graph rules "
+            "(RL001..RL010 file rules + RL100..RL104 graph rules "
             "+ RL200..RL203 effect rules)"
         ),
     )
@@ -255,6 +269,54 @@ def _build_parser() -> argparse.ArgumentParser:
     summarize.add_argument("file", help="JSONL trace written by --trace")
     summarize.add_argument("--top", type=int, default=10, metavar="N",
                            help="how many slowest spans to show")
+    summarize.add_argument("--strict-durations", action="store_true",
+                           help="also reject non-monotonic durations "
+                                "(children outlasting their parent)")
+    top = trace_sub.add_parser(
+        "top",
+        help="profiler view: per-name self/cumulative time + critical path",
+    )
+    top.add_argument("file", help="JSONL trace written by --trace")
+    top.add_argument("--limit", type=int, default=15, metavar="N",
+                     help="how many span names to show")
+    flame = trace_sub.add_parser(
+        "flame",
+        help="ASCII flame view of the span tree",
+    )
+    flame.add_argument("file", help="JSONL trace written by --trace")
+    flame.add_argument("--width", type=int, default=60, metavar="COLS",
+                       help="bar width of a full root in cells")
+    diff = trace_sub.add_parser(
+        "diff",
+        help="compare two traces: structural drift + self-time movements",
+    )
+    diff.add_argument("file_a", help="baseline JSONL trace (A)")
+    diff.add_argument("file_b", help="candidate JSONL trace (B)")
+    diff.add_argument("--top", type=int, default=10, metavar="N",
+                      help="how many self-time movements to show")
+
+    bench = sub.add_parser(
+        "bench",
+        help="standing perf trajectory: build/query/trust ladder -> "
+             "span-attributed BENCH_scale.json (schema repro-bench/1)",
+    )
+    bench.add_argument("--sizes", default=None, metavar="N,N,...",
+                       help="ascending community sizes (default: 100,200,400; "
+                            "BENCH_SMOKE=1 or --smoke: 60,120)")
+    bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument("--queries", type=int, default=5, metavar="N",
+                       help="recommendation queries per size")
+    bench.add_argument("--sources", type=int, default=8, metavar="N",
+                       help="trust-rank sources per size")
+    bench.add_argument("--out", default="BENCH_scale.json", metavar="FILE",
+                       help="bench document path (repro-bench/1 schema)")
+    bench.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="also write the driver's JSONL span trace to FILE")
+    bench.add_argument("--memory", action="store_true",
+                       help="stamp per-span tracemalloc deltas into the trace")
+    bench.add_argument("--smoke", action="store_true",
+                       help="smoke sizes + smoke marker in the document "
+                            "(same as BENCH_SMOKE=1)")
 
     return parser
 
@@ -279,6 +341,9 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
                         help="write a JSONL span trace of the run to FILE")
     parser.add_argument("--metrics", action="store_true",
                         help="print the metrics summary after the output")
+    parser.add_argument("--memory", action="store_true",
+                        help="with --trace: stamp per-span tracemalloc "
+                             "deltas (mem_delta_kb) into the spans")
 
 
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
@@ -593,19 +658,86 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
-    """Validate and summarize a JSONL trace (``repro trace summarize``)."""
+def _load_validated_trace(
+    path: str, strict_durations: bool = False
+) -> list[dict] | None:
+    """Load + schema-check one trace file; ``None`` (and stderr) on failure.
+
+    Every :func:`~repro.obs.validate_trace` finding is printed — a
+    corrupt trace reports all of its problems, not just the first.
+    """
     try:
-        records = load_trace(args.file)
+        records = load_trace(path)
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
-    problems = validate_trace(records)
+        return None
+    problems = validate_trace(records, strict_durations=strict_durations)
     if problems:
         for problem in problems:
             print(f"invalid trace: {problem}", file=sys.stderr)
+        return None
+    return records
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Validate and inspect JSONL traces (``repro trace <subcommand>``)."""
+    if args.trace_command == "diff":
+        records_a = _load_validated_trace(args.file_a)
+        records_b = _load_validated_trace(args.file_b)
+        if records_a is None or records_b is None:
+            return 2
+        print(f"A: {args.file_a} ({len(records_a)} spans)")
+        print(f"B: {args.file_b} ({len(records_b)} spans)")
+        print(render_diff(diff_traces(records_a, records_b), top=args.top))
+        return 0
+    strict = args.trace_command == "summarize" and args.strict_durations
+    records = _load_validated_trace(args.file, strict_durations=strict)
+    if records is None:
         return 2
-    print(summarize_trace(records, top=args.top))
+    if args.trace_command == "summarize":
+        print(summarize_trace(records, top=args.top))
+    elif args.trace_command == "top":
+        print(render_top(records, limit=args.limit))
+    else:
+        print(render_flame(records, width=args.width))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the standing perf trajectory driver (``repro bench``)."""
+    from .evaluation.benchtrack import run_bench, write_bench
+
+    sizes = None
+    if args.sizes is not None:
+        try:
+            sizes = tuple(int(piece) for piece in args.sizes.split(","))
+        except ValueError:
+            raise SystemExit(f"error: --sizes must be integers, got {args.sizes!r}")
+    smoke = True if args.smoke else None  # None: BENCH_SMOKE decides
+    try:
+        document, records = run_bench(
+            sizes=sizes,
+            seed=args.seed,
+            queries=args.queries,
+            trust_sources=args.sources,
+            smoke=smoke,
+            memory=args.memory,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    for entry in document["sizes"]:
+        phases = entry["phases"]
+        summary = ", ".join(
+            f"{phase} {phases[phase]['wall_ms']:.1f} ms "
+            f"({phases[phase]['dominant_span']})"
+            for phase in ("build", "query", "trust")
+        )
+        print(f"{entry['agents']:>6} agents: {summary}")
+    path = write_bench(document, args.out)
+    print(f"wrote {path} (schema {document['schema']})")
+    if args.trace_out is not None:
+        written = write_records_jsonl(records, args.trace_out)
+        print(f"trace: wrote {written} spans to {args.trace_out}")
     return 0
 
 
@@ -621,7 +753,7 @@ def _with_observability(args: argparse.Namespace, run: Callable[[], int]) -> int
     """
     if args.trace is None and not args.metrics:
         return run()
-    tracer = Tracer()
+    tracer = Tracer(memory=getattr(args, "memory", False))
     registry = MetricsRegistry()
     try:
         with tracing(tracer), collecting(registry):
@@ -649,6 +781,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "crawl": _cmd_crawl,
         "lint": _cmd_lint,
         "trace": _cmd_trace,
+        "bench": _cmd_bench,
     }
     handler = handlers[args.command]
     if hasattr(args, "trace") and args.command != "trace":

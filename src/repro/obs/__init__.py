@@ -29,6 +29,20 @@ rebinds both via :func:`tracing` / :func:`collecting` for ``--trace`` /
 """
 
 from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .profile import (
+    NameDelta,
+    SpanNode,
+    SpanProfile,
+    TraceDiff,
+    build_tree,
+    critical_path,
+    diff_traces,
+    profile_trace,
+    render_critical_path,
+    render_diff,
+    render_flame,
+    render_top,
+)
 from .runtime import (
     collecting,
     get_metrics,
@@ -40,6 +54,7 @@ from .runtime import (
 from .stopwatch import Stopwatch, TimingStats, measure
 from .summary import summarize_trace
 from .trace import (
+    MEMORY_ATTR,
     NULL_SPAN,
     NULL_TRACER,
     NullSpan,
@@ -49,6 +64,7 @@ from .trace import (
     load_trace,
     strip_durations,
     validate_trace,
+    write_records_jsonl,
 )
 
 __all__ = [
@@ -56,24 +72,38 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "MEMORY_ATTR",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TRACER",
+    "NameDelta",
     "NullSpan",
     "NullTracer",
     "Span",
+    "SpanNode",
+    "SpanProfile",
     "Stopwatch",
     "TimingStats",
+    "TraceDiff",
     "Tracer",
+    "build_tree",
     "collecting",
+    "critical_path",
+    "diff_traces",
     "get_metrics",
     "get_tracer",
     "load_trace",
     "measure",
+    "profile_trace",
+    "render_critical_path",
+    "render_diff",
+    "render_flame",
+    "render_top",
     "set_metrics",
     "set_tracer",
     "strip_durations",
     "summarize_trace",
     "tracing",
     "validate_trace",
+    "write_records_jsonl",
 ]

@@ -1,0 +1,421 @@
+"""Post-hoc profiling over JSONL span trees: attribution, not anecdotes.
+
+:mod:`repro.obs.trace` records *what happened*; this module turns a
+recorded span tree into *where the time went* — deterministically, from
+the file alone, with no re-run.  Four views, all backing ``repro trace``
+subcommands:
+
+* **Per-name aggregation** (:func:`profile_trace`) — for every span
+  name: call count, *cumulative* time (the span's own clock, children
+  included) and *self* time (cumulative minus direct children — the
+  part attributable to that code and no deeper span), with
+  min/p50/max per-call self times via
+  :class:`~repro.obs.stopwatch.TimingStats`.
+* **Critical path** (:func:`critical_path`) — the root-to-leaf chain of
+  slowest spans, the single sequence of operations that bounded the
+  run's wall clock.
+* **Tree diff** (:func:`diff_traces`) — given two traces of the same
+  workload, the per-name self-time deltas sorted by magnitude (*which
+  span regressed*), plus a structural-drift check on the
+  duration-stripped projection (same-seed runs must agree exactly
+  there; see :func:`~repro.obs.trace.strip_durations`).
+* **Flame / top rendering** (:func:`render_flame`, :func:`render_top`)
+  — ASCII views of the tree and the aggregation for terminals and CI
+  artifacts.
+
+When spans carry ``mem_delta_kb`` attributes (a :class:`~repro.obs.trace.Tracer`
+constructed with ``memory=True``, the CLI's ``--memory`` flag), the
+aggregation also sums per-name memory deltas.
+
+All functions assume records that already passed
+:func:`~repro.obs.trace.validate_trace`; the CLI validates before
+profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .stopwatch import TimingStats
+from .summary import format_table
+from .trace import MEMORY_ATTR, strip_durations
+
+__all__ = [
+    "NameDelta",
+    "SpanNode",
+    "SpanProfile",
+    "TraceDiff",
+    "aggregate_nodes",
+    "build_tree",
+    "critical_path",
+    "diff_traces",
+    "profile_trace",
+    "render_critical_path",
+    "render_diff",
+    "render_flame",
+    "render_top",
+    "walk_tree",
+]
+
+@dataclass(slots=True)
+class SpanNode:
+    """One span record plus its resolved children, in start order."""
+
+    record: dict[str, Any]
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def span_id(self) -> int:
+        return int(self.record["id"])
+
+    @property
+    def name(self) -> str:
+        return str(self.record["name"])
+
+    @property
+    def duration_ms(self) -> float:
+        """Cumulative time: the span's own clock, children included."""
+        return float(self.record["duration_ms"])
+
+    @property
+    def child_ms(self) -> float:
+        return sum(child.duration_ms for child in self.children)
+
+    @property
+    def self_ms(self) -> float:
+        """Time attributable to this span alone (children subtracted).
+
+        Clamped at zero: rounding of the stored ``duration_ms`` values
+        can push a fully-delegating span's children a hair past its own
+        clock.
+        """
+        return max(0.0, self.duration_ms - self.child_ms)
+
+    @property
+    def mem_delta_kb(self) -> float | None:
+        value = self.record["attrs"].get(MEMORY_ATTR)
+        return float(value) if isinstance(value, (int, float)) else None
+
+
+def build_tree(records: list[dict[str, Any]]) -> list[SpanNode]:
+    """Resolve parent ids into a forest of :class:`SpanNode` roots.
+
+    Records must be schema-valid (every parent an earlier id); an
+    unknown parent raises :class:`ValueError` naming the span rather
+    than silently re-rooting it.
+    """
+    by_id: dict[int, SpanNode] = {}
+    roots: list[SpanNode] = []
+    for record in records:
+        node = SpanNode(record=record)
+        by_id[node.span_id] = node
+        parent = record["parent"]
+        if parent is None:
+            roots.append(node)
+        else:
+            if parent not in by_id:
+                raise ValueError(
+                    f"span {node.span_id} names unknown parent {parent}; "
+                    "run validate_trace first"
+                )
+            by_id[parent].children.append(node)
+    return roots
+
+
+def walk_tree(roots: list[SpanNode]) -> list[SpanNode]:
+    """Every node of the forest, depth-first in start order."""
+    out: list[SpanNode] = []
+    stack = list(reversed(roots))
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        stack.extend(reversed(node.children))
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class SpanProfile:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int
+    self_ms: float
+    cumulative_ms: float
+    #: Per-call *self* times, in seconds (TimingStats' native unit).
+    self_stats: TimingStats
+    #: Summed ``mem_delta_kb`` across calls, or ``None`` when the trace
+    #: carries no memory attribution.
+    mem_delta_kb: float | None = None
+
+
+def profile_trace(records: list[dict[str, Any]]) -> list[SpanProfile]:
+    """Per-span-name aggregation, sorted by self time (descending).
+
+    Self time is the one additive decomposition of the run: summed over
+    all names it equals the total root time (modulo per-record
+    rounding), so "who owns the wall clock" has exactly one answer.
+    """
+    return aggregate_nodes(walk_tree(build_tree(records)))
+
+
+def aggregate_nodes(nodes: list[SpanNode]) -> list[SpanProfile]:
+    """Per-name aggregation over already-resolved nodes (any subtree).
+
+    :func:`profile_trace` feeds the whole forest through here; callers
+    holding a subtree (e.g. one ``repro bench`` phase) aggregate just
+    their slice.
+    """
+    buckets: dict[str, list[SpanNode]] = {}
+    for node in nodes:
+        buckets.setdefault(node.name, []).append(node)
+    profiles: list[SpanProfile] = []
+    for name, nodes in buckets.items():
+        self_times = tuple(node.self_ms / 1000.0 for node in nodes)
+        memory: float | None = None
+        deltas = [node.mem_delta_kb for node in nodes if node.mem_delta_kb is not None]
+        if deltas:
+            memory = sum(deltas)
+        profiles.append(
+            SpanProfile(
+                name=name,
+                count=len(nodes),
+                self_ms=sum(node.self_ms for node in nodes),
+                cumulative_ms=sum(node.duration_ms for node in nodes),
+                self_stats=TimingStats(times=self_times),
+                mem_delta_kb=memory,
+            )
+        )
+    profiles.sort(key=lambda profile: (-profile.self_ms, profile.name))
+    return profiles
+
+
+def critical_path(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """The slowest root-to-leaf chain: the spans that bounded the run.
+
+    From the slowest root, repeatedly descend into the slowest child.
+    Ties break toward the earlier span id, keeping the extraction
+    deterministic for equal durations.
+    """
+    roots = build_tree(records)
+    if not roots:
+        return []
+    path: list[dict[str, Any]] = []
+    node = min(roots, key=lambda n: (-n.duration_ms, n.span_id))
+    while True:
+        path.append(node.record)
+        if not node.children:
+            return path
+        node = min(node.children, key=lambda n: (-n.duration_ms, n.span_id))
+
+
+@dataclass(frozen=True, slots=True)
+class NameDelta:
+    """Self-time movement of one span name between two traces."""
+
+    name: str
+    count_a: int
+    count_b: int
+    self_a_ms: float
+    self_b_ms: float
+
+    @property
+    def delta_ms(self) -> float:
+        return self.self_b_ms - self.self_a_ms
+
+    @property
+    def ratio(self) -> float | None:
+        """``b / a``, or ``None`` when *a* spent no self time."""
+        if self.self_a_ms <= 0.0:
+            return None
+        return self.self_b_ms / self.self_a_ms
+
+
+@dataclass(frozen=True, slots=True)
+class TraceDiff:
+    """Structural drift plus per-name self-time deltas of two traces."""
+
+    structural_drift: bool
+    drift_details: tuple[str, ...]
+    deltas: tuple[NameDelta, ...]
+
+
+def diff_traces(
+    a_records: list[dict[str, Any]], b_records: list[dict[str, Any]]
+) -> TraceDiff:
+    """Compare two traces: structure first, then self-time attribution.
+
+    Structure is the duration-stripped projection two same-seed runs
+    must agree on; any disagreement is *drift* and is reported through
+    ``drift_details`` (span counts, per-name call-count changes, and
+    the first diverging record).  Deltas are per-name self-time
+    movements sorted by magnitude — the answer to "which span regressed"
+    when a benchmark number moves.
+    """
+    details: list[str] = []
+    stripped_a = strip_durations(a_records)
+    stripped_b = strip_durations(b_records)
+    drift = stripped_a != stripped_b
+    if drift:
+        if len(stripped_a) != len(stripped_b):
+            details.append(f"span count {len(stripped_a)} -> {len(stripped_b)}")
+        counts_a: dict[str, int] = {}
+        counts_b: dict[str, int] = {}
+        for record in a_records:
+            counts_a[record["name"]] = counts_a.get(record["name"], 0) + 1
+        for record in b_records:
+            counts_b[record["name"]] = counts_b.get(record["name"], 0) + 1
+        for name in sorted(set(counts_a) | set(counts_b)):
+            if counts_a.get(name, 0) != counts_b.get(name, 0):
+                details.append(
+                    f"{name}: {counts_a.get(name, 0)} -> {counts_b.get(name, 0)} calls"
+                )
+        for index, (left, right) in enumerate(zip(stripped_a, stripped_b)):
+            if left != right:
+                details.append(
+                    f"first divergence at record {index + 1}: "
+                    f"{left['name']} (id {left['id']}) vs "
+                    f"{right['name']} (id {right['id']})"
+                )
+                break
+
+    profiles_a = {profile.name: profile for profile in profile_trace(a_records)}
+    profiles_b = {profile.name: profile for profile in profile_trace(b_records)}
+    deltas = [
+        NameDelta(
+            name=name,
+            count_a=profiles_a[name].count if name in profiles_a else 0,
+            count_b=profiles_b[name].count if name in profiles_b else 0,
+            self_a_ms=profiles_a[name].self_ms if name in profiles_a else 0.0,
+            self_b_ms=profiles_b[name].self_ms if name in profiles_b else 0.0,
+        )
+        for name in sorted(set(profiles_a) | set(profiles_b))
+    ]
+    deltas.sort(key=lambda delta: (-abs(delta.delta_ms), delta.name))
+    return TraceDiff(
+        structural_drift=drift, drift_details=tuple(details), deltas=tuple(deltas)
+    )
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def render_top(records: list[dict[str, Any]], limit: int = 15) -> str:
+    """The profiler table: hottest span names by self time.
+
+    Ends with the critical path so a single artifact answers both
+    "who owns the clock" and "what sequence bounded the run".
+    """
+    if not records:
+        return "trace: empty (0 spans)"
+    profiles = profile_trace(records)
+    total_self = sum(profile.self_ms for profile in profiles)
+    with_memory = any(profile.mem_delta_kb is not None for profile in profiles)
+    headers = ["name", "count", "self ms", "%", "cum ms", "min", "p50", "max"]
+    if with_memory:
+        headers.append("mem kb")
+    rows: list[list[str]] = []
+    for profile in profiles[:limit]:
+        share = 100.0 * profile.self_ms / total_self if total_self else 0.0
+        row = [
+            profile.name,
+            str(profile.count),
+            f"{profile.self_ms:.2f}",
+            f"{share:.1f}",
+            f"{profile.cumulative_ms:.2f}",
+            f"{profile.self_stats.best_ms:.3f}",
+            f"{profile.self_stats.median_ms:.3f}",
+            f"{profile.self_stats.worst_ms:.3f}",
+        ]
+        if with_memory:
+            row.append(
+                f"{profile.mem_delta_kb:+.1f}" if profile.mem_delta_kb is not None else ""
+            )
+        rows.append(row)
+    lines = [
+        f"profile: {len(records)} spans, {len(profiles)} names, "
+        f"{total_self:.1f} ms total self time",
+        "",
+        format_table(headers, rows),
+        "",
+        render_critical_path(records),
+    ]
+    return "\n".join(lines)
+
+
+def render_critical_path(records: list[dict[str, Any]]) -> str:
+    """The slowest chain, one span per line with cumulative/self split."""
+    path = critical_path(records)
+    if not path:
+        return "critical path: (empty trace)"
+    lines = ["critical path (slowest chain, root -> leaf):"]
+    tree_index = {node.span_id: node for node in walk_tree(build_tree(records))}
+    for depth, record in enumerate(path):
+        node = tree_index[record["id"]]
+        lines.append(
+            f"  {'  ' * depth}{node.name}  "
+            f"[id {node.span_id}]  {node.duration_ms:.2f} ms "
+            f"(self {node.self_ms:.2f} ms)"
+        )
+    return "\n".join(lines)
+
+
+def render_flame(records: list[dict[str, Any]], width: int = 60) -> str:
+    """ASCII flame view: one line per span, bar width = share of root time.
+
+    The bar is proportional to the span's cumulative time relative to
+    the total root time, so a glance shows both depth (indentation) and
+    weight (bar length).  Spans too cheap for a single bar cell render
+    as ``.``.
+    """
+    if not records:
+        return "trace: empty (0 spans)"
+    roots = build_tree(records)
+    total_ms = sum(root.duration_ms for root in roots) or 1.0
+    lines = [f"flame: {len(records)} spans, {total_ms:.1f} ms total root time"]
+
+    def emit(node: SpanNode, depth: int) -> None:
+        share = node.duration_ms / total_ms
+        cells = int(round(share * width))
+        bar = "#" * cells if cells else "."
+        lines.append(
+            f"{'  ' * depth}{bar} {node.name} "
+            f"{node.duration_ms:.2f} ms ({100.0 * share:.1f}%)"
+        )
+        for child in node.children:
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_diff(diff: TraceDiff, top: int = 10) -> str:
+    """Human rendering of a :class:`TraceDiff` (``repro trace diff``)."""
+    lines: list[str] = []
+    if diff.structural_drift:
+        lines.append("structural drift: YES (traces differ beyond durations)")
+        lines.extend(f"  {detail}" for detail in diff.drift_details)
+    else:
+        lines.append("structural drift: none (identical modulo durations)")
+    moved = [delta for delta in diff.deltas if delta.count_a or delta.count_b]
+    lines += ["", f"top {min(top, len(moved))} self-time movements (B - A):"]
+    rows: list[list[str]] = []
+    for delta in moved[:top]:
+        ratio = delta.ratio
+        rows.append(
+            [
+                delta.name,
+                f"{delta.count_a}->{delta.count_b}",
+                f"{delta.self_a_ms:.2f}",
+                f"{delta.self_b_ms:.2f}",
+                f"{delta.delta_ms:+.2f}",
+                f"{ratio:.2f}x" if ratio is not None else "new",
+            ]
+        )
+    lines.append(
+        format_table(["name", "calls", "A self ms", "B self ms", "delta", "ratio"], rows)
+    )
+    return "\n".join(lines)

@@ -109,6 +109,10 @@ class TimingStats:
         return min(self.times)
 
     @property
+    def worst(self) -> float:
+        return max(self.times)
+
+    @property
     def total(self) -> float:
         return sum(self.times)
 
@@ -127,6 +131,10 @@ class TimingStats:
     @property
     def best_ms(self) -> float:
         return self.best * 1000.0
+
+    @property
+    def worst_ms(self) -> float:
+        return self.worst * 1000.0
 
 
 def measure(func: Callable[[], object], repeats: int = 1) -> TimingStats:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any
 
-__all__ = ["summarize_trace"]
+__all__ = ["format_table", "summarize_trace"]
 
 #: Attributes surfaced inline for a slow span (kept short on purpose).
 _HIGHLIGHT_ATTRS = ("source", "kind", "iterations", "converged", "fetched", "agents", "d")
@@ -39,8 +39,11 @@ def _span_path(
     return " > ".join(names)
 
 
-def _format_table(headers: list[str], rows: list[list[str]]) -> str:
-    """Minimal aligned text table (obs sits below core; no Table import)."""
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Minimal aligned text table (obs sits below core; no Table import).
+
+    Shared by this renderer and the :mod:`repro.obs.profile` views.
+    """
     widths = [len(header) for header in headers]
     for row in rows:
         for index, cell in enumerate(row):
@@ -84,7 +87,7 @@ def summarize_trace(records: list[dict[str, Any]], top: int = 10) -> str:
                 highlights,
             ]
         )
-    lines.append(_format_table(["ms", "id", "span", "attrs"], rows))
+    lines.append(format_table(["ms", "id", "span", "attrs"], rows))
 
     aggregates: dict[str, list[float]] = {}
     for record in records:
@@ -104,6 +107,6 @@ def summarize_trace(records: list[dict[str, Any]], top: int = 10) -> str:
         for name, (count, total, peak) in sorted(aggregates.items())
     ]
     lines.append(
-        _format_table(["name", "count", "total ms", "mean ms", "max ms"], name_rows)
+        format_table(["name", "count", "total ms", "mean ms", "max ms"], name_rows)
     )
     return "\n".join(lines)

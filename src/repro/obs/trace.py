@@ -32,11 +32,13 @@ from __future__ import annotations
 
 import json
 import time
+import tracemalloc
 from pathlib import Path
 from types import TracebackType
 from typing import Any
 
 __all__ = [
+    "MEMORY_ATTR",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullSpan",
@@ -47,10 +49,16 @@ __all__ = [
     "load_trace",
     "strip_durations",
     "validate_trace",
+    "write_records_jsonl",
 ]
 
 #: The exact key set of one JSONL span record.
 SPAN_FIELDS = ("attrs", "duration_ms", "id", "name", "parent")
+
+#: Attribute key stamped on every span by a ``memory=True`` tracer —
+#: like ``duration_ms`` it is measurement, not identity, so
+#: :func:`strip_durations` removes it too.
+MEMORY_ATTR = "mem_delta_kb"
 
 
 def _jsonify(value: Any) -> Any:
@@ -80,7 +88,16 @@ class Span:
     clock, and only to compute ``duration_ms``.
     """
 
-    __slots__ = ("attrs", "duration_ms", "name", "parent_id", "span_id", "_started", "_tracer")
+    __slots__ = (
+        "attrs",
+        "duration_ms",
+        "name",
+        "parent_id",
+        "span_id",
+        "_mem_start",
+        "_started",
+        "_tracer",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
         self.name = name
@@ -88,6 +105,7 @@ class Span:
         self.span_id = 0  # assigned at __enter__
         self.parent_id: int | None = None
         self.duration_ms = 0.0
+        self._mem_start = 0
         self._started = 0.0
         self._tracer = tracer
 
@@ -128,14 +146,24 @@ class Tracer:
     Not thread-safe by design: a tracer belongs to one run in one
     process.  Spans started in pool workers simply land in the worker's
     (usually null) tracer and are not merged.
+
+    With ``memory=True`` (the CLI's ``--memory`` flag) the tracer starts
+    :mod:`tracemalloc` if needed and stamps every finished span with a
+    ``mem_delta_kb`` attribute — the traced-memory delta across the
+    span.  Memory numbers are measurement, not identity: like
+    ``duration_ms`` they are removed by :func:`strip_durations`, so the
+    same-seed reproducibility contract is unchanged.
     """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, memory: bool = False) -> None:
         self.spans: list[Span] = []
         self._stack: list[Span] = []
         self._next_id = 1
+        self.memory = memory
+        if memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
 
     def span(self, name: str, **attrs: Any) -> Span:
         """A new span; enter it with ``with`` to start the clock."""
@@ -149,6 +177,8 @@ class Tracer:
         span.parent_id = self._stack[-1].span_id if self._stack else None
         self._stack.append(span)
         self.spans.append(span)  # start order == id order
+        if self.memory:
+            span._mem_start = tracemalloc.get_traced_memory()[0]
 
     def _finish(self, span: Span) -> None:
         # Tolerate exits out of order (an exception unwound past inner
@@ -157,6 +187,9 @@ class Tracer:
             self._stack.pop()
         if self._stack:
             self._stack.pop()
+        if self.memory:
+            delta = tracemalloc.get_traced_memory()[0] - span._mem_start
+            span.attrs[MEMORY_ATTR] = round(delta / 1024.0, 3)
 
     # -- export -------------------------------------------------------------
 
@@ -214,6 +247,20 @@ NULL_SPAN = NullSpan()
 NULL_TRACER = NullTracer()
 
 
+def write_records_jsonl(records: list[dict[str, Any]], path: str | Path) -> int:
+    """Write span records to *path* in the canonical JSONL shape.
+
+    The file-level counterpart of :meth:`Tracer.write_jsonl` for callers
+    holding plain records (e.g. ``repro bench`` exporting the driver
+    tracer's spans); returns the number of records written.
+    """
+    Path(path).write_text(
+        "".join(json.dumps(record, sort_keys=True) + "\n" for record in records),
+        encoding="utf-8",
+    )
+    return len(records)
+
+
 def load_trace(path: str | Path) -> list[dict[str, Any]]:
     """Parse a JSONL trace file into span records.
 
@@ -232,7 +279,9 @@ def load_trace(path: str | Path) -> list[dict[str, Any]]:
     return records
 
 
-def validate_trace(records: list[dict[str, Any]]) -> list[str]:
+def validate_trace(
+    records: list[dict[str, Any]], strict_durations: bool = False
+) -> list[str]:
     """Check span records against the span schema; returns error strings.
 
     The schema: every record carries exactly :data:`SPAN_FIELDS`; ``id``
@@ -240,10 +289,21 @@ def validate_trace(records: list[dict[str, Any]]) -> list[str]:
     ascending id order; ``parent`` is ``None`` (a root) or the id of an
     *earlier* span; ``name`` is a non-empty string; ``attrs`` is an
     object; ``duration_ms`` is a non-negative number.
+
+    *Every* finding is collected and returned — a corrupt trace reports
+    all of its problems in one pass, not just the first.  With
+    ``strict_durations`` the monotonic-clock invariant is also checked:
+    a span's children cannot together outlast their parent (each child
+    ran strictly inside the parent's window), so a parent whose
+    children's summed ``duration_ms`` exceeds its own (beyond rounding
+    slack) marks a non-monotonic, hand-edited, or merged trace.
     """
     errors: list[str] = []
     seen: set[int] = set()
     previous_id = 0
+    durations: dict[int, float] = {}
+    child_totals: dict[int, float] = {}
+    child_counts: dict[int, int] = {}
     for index, record in enumerate(records, start=1):
         where = f"span {index}"
         if not isinstance(record, dict):
@@ -255,12 +315,14 @@ def validate_trace(records: list[dict[str, Any]]) -> list[str]:
             )
             continue
         span_id = record["id"]
-        if not isinstance(span_id, int) or isinstance(span_id, bool) or span_id < 1:
+        valid_id = (
+            isinstance(span_id, int) and not isinstance(span_id, bool) and span_id >= 1
+        )
+        if not valid_id:
             errors.append(f"{where}: id {span_id!r} is not a positive integer")
-            continue
-        if span_id in seen:
+        elif span_id in seen:
             errors.append(f"{where}: duplicate id {span_id}")
-        if span_id <= previous_id:
+        elif span_id <= previous_id:
             errors.append(f"{where}: id {span_id} out of start order")
         parent = record["parent"]
         if parent is not None and (
@@ -272,20 +334,53 @@ def validate_trace(records: list[dict[str, Any]]) -> list[str]:
         if not isinstance(record["attrs"], dict):
             errors.append(f"{where}: attrs must be an object")
         duration = record["duration_ms"]
-        if isinstance(duration, bool) or not isinstance(duration, (int, float)) or duration < 0:
+        valid_duration = (
+            not isinstance(duration, bool)
+            and isinstance(duration, (int, float))
+            and duration >= 0
+        )
+        if not valid_duration:
             errors.append(f"{where}: duration_ms {duration!r} must be a non-negative number")
-        seen.add(span_id)
-        previous_id = max(previous_id, span_id if isinstance(span_id, int) else previous_id)
+        if valid_id:
+            seen.add(span_id)
+            previous_id = max(previous_id, span_id)
+            if valid_duration:
+                durations[span_id] = float(duration)
+                if isinstance(parent, int) and not isinstance(parent, bool):
+                    child_totals[parent] = child_totals.get(parent, 0.0) + float(duration)
+                    child_counts[parent] = child_counts.get(parent, 0) + 1
+    if strict_durations:
+        for parent_id, total in sorted(child_totals.items()):
+            if parent_id not in durations:
+                continue
+            # duration_ms is rounded to 4 decimals on export; allow each
+            # involved record half a unit in the last place of slack.
+            slack = 0.0001 * (child_counts[parent_id] + 1)
+            if total > durations[parent_id] + slack:
+                errors.append(
+                    f"span id {parent_id}: children's duration_ms sums to "
+                    f"{total:.4f} > own {durations[parent_id]:.4f} "
+                    "(non-monotonic durations)"
+                )
     return errors
 
 
 def strip_durations(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
-    """Span records minus ``duration_ms`` — the deterministic remainder.
+    """Span records minus measurement — the deterministic remainder.
 
-    Two runs of the same seeded computation must agree exactly on this
-    projection (the property the telemetry tests pin).
+    Removes ``duration_ms`` and, when present, the ``mem_delta_kb``
+    attribute a ``memory=True`` tracer stamps (allocator behavior is no
+    more reproducible than the clock).  Two runs of the same seeded
+    computation must agree exactly on this projection (the property the
+    telemetry tests pin).
     """
-    return [
-        {key: value for key, value in record.items() if key != "duration_ms"}
-        for record in records
-    ]
+    stripped: list[dict[str, Any]] = []
+    for record in records:
+        projected = {key: value for key, value in record.items() if key != "duration_ms"}
+        attrs = projected.get("attrs")
+        if isinstance(attrs, dict) and MEMORY_ATTR in attrs:
+            projected["attrs"] = {
+                key: value for key, value in attrs.items() if key != MEMORY_ATTR
+            }
+        stripped.append(projected)
+    return stripped

@@ -347,6 +347,55 @@ class TestRL009HardwiredTrustEngine:
         assert lint_source(source, path=self.EVAL_PATH) == []
 
 
+class TestRL010BenchSchemaBypass:
+    def test_direct_write_text_triggers(self):
+        source = 'Path("BENCH_scale.json").write_text(json.dumps(doc))\n'
+        findings = lint_source(source, path="benchmarks/bench_new.py")
+        assert "RL010" in codes_of(findings)
+        assert "write_bench" in findings[0].message
+
+    def test_module_level_output_binding_triggers(self):
+        source = (
+            'OUTPUT = pathlib.Path(__file__).parent / "BENCH_thing.json"\n'
+            "def save(records):\n"
+            "    OUTPUT.write_text(json.dumps(records))\n"
+        )
+        findings = lint_source(source, path="benchmarks/bench_new.py")
+        assert "RL010" in codes_of(findings)
+        assert "BENCH_thing.json" in findings[0].message
+
+    def test_json_dump_and_open_for_write_trigger(self):
+        source = (
+            'with open("BENCH_x.json", "w") as fh:\n'
+            "    json.dump(doc, fh)\n"
+        )
+        codes = codes_of(lint_source(source, path="benchmarks/bench_new.py"))
+        assert codes.count("RL010") == 1  # the open; dump's subtree has no constant
+
+    def test_reading_a_bench_file_is_clean(self):
+        source = (
+            'doc = json.loads(Path("BENCH_scale.json").read_text())\n'
+            'with open("BENCH_scale.json") as fh:\n'
+            "    other = json.load(fh)\n"
+        )
+        assert lint_source(source, path="scripts/check_thing.py") == []
+
+    def test_non_bench_writers_are_clean(self):
+        source = 'Path("results.json").write_text(json.dumps(doc))\n'
+        assert lint_source(source, path="benchmarks/bench_new.py") == []
+
+    def test_write_bench_helper_is_clean(self):
+        source = 'write_bench(document, "BENCH_scale.json")\n'
+        assert lint_source(source, path="src/repro/cli.py") == []
+
+    def test_suppression_silences(self):
+        source = (
+            'OUTPUT = Path("BENCH_old.json")\n'
+            "OUTPUT.write_text(data)  # reprolint: disable=RL010\n"
+        )
+        assert lint_source(source, path="benchmarks/bench_old.py") == []
+
+
 class TestSuppressions:
     def test_disable_all_silences_every_code(self):
         source = (

@@ -291,3 +291,118 @@ class TestObservability:
             stripped = strip_durations(load_trace(trace))
             projections.append(json.dumps(stripped, sort_keys=True))
         assert projections[0] == projections[1]
+
+
+class TestTraceProfiling:
+    @pytest.fixture()
+    def ex01_trace(self, tmp_path):
+        trace = tmp_path / "ex01.jsonl"
+        assert main(["experiment", "EX01", "--trace", str(trace)]) == 0
+        return trace
+
+    def test_trace_top_renders_profile_and_critical_path(self, ex01_trace, capsys):
+        capsys.readouterr()
+        assert main(["trace", "top", str(ex01_trace), "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "total self time" in out
+        assert "critical path" in out
+
+    def test_trace_flame_renders_bars(self, ex01_trace, capsys):
+        capsys.readouterr()
+        assert main(["trace", "flame", str(ex01_trace), "--width", "20"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("flame:")
+        assert "#" in out
+
+    def test_trace_diff_of_two_same_seed_ex03_runs_reports_zero_drift(
+        self, tmp_path, capsys
+    ):
+        # The acceptance check: two same-seed EX03 traces differ only in
+        # durations, and `repro trace diff` says exactly that.
+        traces = []
+        for name in ("a", "b"):
+            trace = tmp_path / f"ex03-{name}.jsonl"
+            assert main(["experiment", "EX03", "--trace", str(trace)]) == 0
+            traces.append(trace)
+        capsys.readouterr()
+        assert main(["trace", "diff", str(traces[0]), str(traces[1])]) == 0
+        out = capsys.readouterr().out
+        assert "structural drift: none (identical modulo durations)" in out
+        assert "self-time movements" in out
+
+    def test_trace_diff_flags_structural_drift(self, ex01_trace, tmp_path, capsys):
+        from repro.obs import load_trace, write_records_jsonl
+
+        records = load_trace(ex01_trace)
+        mutated = tmp_path / "mutated.jsonl"
+        write_records_jsonl(records[:-1], mutated)
+        capsys.readouterr()
+        assert main(["trace", "diff", str(ex01_trace), str(mutated)]) == 0
+        assert "structural drift: YES" in capsys.readouterr().out
+
+    def test_profiling_commands_reject_invalid_traces(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"id": 1}\n', encoding="utf-8")
+        for view in ("top", "flame"):
+            assert main(["trace", view, str(bad)]) == 2
+        assert main(["trace", "diff", str(bad), str(bad)]) == 2
+
+    def test_summarize_strict_durations_rejects_doctored_traces(
+        self, ex01_trace, tmp_path, capsys
+    ):
+        from repro.obs import load_trace, write_records_jsonl
+
+        records = load_trace(ex01_trace)
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(ex01_trace), "--strict-durations"]) == 0
+        doctored = [dict(record) for record in records]
+        doctored.append(
+            {
+                "attrs": {},
+                "duration_ms": doctored[0]["duration_ms"] * 10 + 1.0,
+                "id": doctored[-1]["id"] + 1,
+                "name": "edited.in",
+                "parent": doctored[0]["id"],
+            }
+        )
+        bad = tmp_path / "doctored.jsonl"
+        write_records_jsonl(doctored, bad)
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(bad), "--strict-durations"]) == 2
+        assert "non-monotonic" in capsys.readouterr().err
+
+    def test_memory_flag_adds_span_attribution(self, tmp_path, capsys):
+        from repro.obs import MEMORY_ATTR, load_trace
+
+        trace = tmp_path / "mem.jsonl"
+        assert main(["experiment", "EX01", "--trace", str(trace), "--memory"]) == 0
+        records = load_trace(trace)
+        assert all(MEMORY_ATTR in record["attrs"] for record in records)
+        capsys.readouterr()
+        assert main(["trace", "top", str(trace)]) == 0
+        assert "mem kb" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_writes_a_schema_valid_document_and_trace(self, tmp_path, capsys):
+        from repro.evaluation.benchtrack import validate_bench
+        from repro.obs import load_trace, validate_trace
+
+        out_path = tmp_path / "BENCH_scale.json"
+        trace_path = tmp_path / "bench.jsonl"
+        code = main(
+            ["bench", "--sizes", "24", "--queries", "2", "--sources", "2",
+             "--out", str(out_path), "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "24 agents:" in out and "repro-bench/1" in out
+        import json as _json
+
+        document = _json.loads(out_path.read_text(encoding="utf-8"))
+        assert validate_bench(document) == []
+        assert validate_trace(load_trace(trace_path)) == []
+
+    def test_bench_rejects_malformed_sizes(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "--sizes", "ten", "--out", str(tmp_path / "b.json")])

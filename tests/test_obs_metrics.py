@@ -179,3 +179,9 @@ class TestStopwatch:
         stats = TimingStats(times=(1.0, 3.0))
         assert stats.median == 2.0
         assert stats.total == 4.0
+
+    def test_timing_stats_worst(self):
+        stats = TimingStats(times=(0.002, 0.005, 0.001))
+        assert stats.worst == 0.005
+        assert stats.worst_ms == pytest.approx(5.0)
+        assert stats.best <= stats.median <= stats.worst

@@ -1,0 +1,217 @@
+"""repro.obs.profile: self-time math, critical path, tree diff, renders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MEMORY_ATTR,
+    Tracer,
+    build_tree,
+    critical_path,
+    diff_traces,
+    profile_trace,
+    render_critical_path,
+    render_diff,
+    render_flame,
+    render_top,
+)
+from repro.obs.profile import aggregate_nodes, walk_tree
+
+
+def span(span_id, name, parent=None, duration_ms=1.0, **attrs):
+    return {
+        "attrs": attrs,
+        "duration_ms": duration_ms,
+        "id": span_id,
+        "name": name,
+        "parent": parent,
+    }
+
+
+#: root(10) -> work(6) -> inner(2); root -> work(3)  [self: root 1, work 7, inner 2]
+TRACE = [
+    span(1, "root", None, 10.0),
+    span(2, "work", 1, 6.0),
+    span(3, "inner", 2, 2.0),
+    span(4, "work", 1, 3.0),
+]
+
+
+class TestTree:
+    def test_build_tree_resolves_the_forest(self):
+        roots = build_tree(TRACE)
+        assert [root.name for root in roots] == ["root"]
+        assert [child.name for child in roots[0].children] == ["work", "work"]
+        assert [node.span_id for node in walk_tree(roots)] == [1, 2, 3, 4]
+
+    def test_unknown_parent_raises_with_the_span_named(self):
+        with pytest.raises(ValueError, match="span 3 names unknown parent 2"):
+            build_tree([span(1, "a"), span(3, "b", parent=2)])
+
+    def test_self_time_subtracts_direct_children_only(self):
+        roots = build_tree(TRACE)
+        root = roots[0]
+        assert root.child_ms == pytest.approx(9.0)
+        assert root.self_ms == pytest.approx(1.0)  # 10 - (6 + 3); inner not double-counted
+        assert root.children[0].self_ms == pytest.approx(4.0)  # 6 - 2
+
+    def test_self_time_clamps_rounding_underflow(self):
+        roots = build_tree([span(1, "p", None, 1.0), span(2, "c", 1, 1.0001)])
+        assert roots[0].self_ms == 0.0
+
+
+class TestAggregation:
+    def test_profile_merges_names_and_sorts_by_self_time(self):
+        profiles = profile_trace(TRACE)
+        assert [(p.name, p.count) for p in profiles] == [
+            ("work", 2), ("inner", 1), ("root", 1),
+        ]
+        work = profiles[0]
+        assert work.self_ms == pytest.approx(7.0)
+        assert work.cumulative_ms == pytest.approx(9.0)
+
+    def test_self_times_decompose_the_total_root_time(self):
+        profiles = profile_trace(TRACE)
+        assert sum(p.self_ms for p in profiles) == pytest.approx(10.0)
+
+    def test_timing_stats_carry_min_p50_max_of_per_call_self(self):
+        work = profile_trace(TRACE)[0]
+        # per-call self: 4.0 and 3.0 ms, in seconds inside TimingStats
+        assert work.self_stats.best_ms == pytest.approx(3.0)
+        assert work.self_stats.worst_ms == pytest.approx(4.0)
+        assert work.self_stats.median_ms == pytest.approx(3.5)
+
+    def test_aggregate_nodes_over_a_subtree_slice(self):
+        roots = build_tree(TRACE)
+        subtree = walk_tree([roots[0].children[0]])  # work(6) -> inner(2)
+        profiles = aggregate_nodes(subtree)
+        assert [(p.name, p.self_ms) for p in profiles] == [("work", 4.0), ("inner", 2.0)]
+
+    def test_memory_attr_sums_per_name(self):
+        records = [
+            span(1, "root", None, 4.0),
+            span(2, "leaf", 1, 1.0, **{MEMORY_ATTR: 10.5}),
+            span(3, "leaf", 1, 1.0, **{MEMORY_ATTR: -2.5}),
+        ]
+        by_name = {p.name: p for p in profile_trace(records)}
+        assert by_name["leaf"].mem_delta_kb == pytest.approx(8.0)
+        assert by_name["root"].mem_delta_kb is None
+
+
+class TestCriticalPath:
+    def test_follows_the_slowest_child(self):
+        path = critical_path(TRACE)
+        assert [record["name"] for record in path] == ["root", "work", "inner"]
+
+    def test_ties_break_toward_the_earlier_id(self):
+        records = [
+            span(1, "root", None, 10.0),
+            span(2, "left", 1, 4.0),
+            span(3, "right", 1, 4.0),
+        ]
+        assert [r["id"] for r in critical_path(records)] == [1, 2]
+
+    def test_empty_trace_yields_empty_path(self):
+        assert critical_path([]) == []
+
+
+class TestDiff:
+    def test_identical_traces_have_no_drift_and_zero_deltas(self):
+        diff = diff_traces(TRACE, TRACE)
+        assert diff.structural_drift is False
+        assert diff.drift_details == ()
+        assert all(delta.delta_ms == 0.0 for delta in diff.deltas)
+
+    def test_duration_only_changes_are_not_drift(self):
+        slower = [dict(record, duration_ms=record["duration_ms"] * 2) for record in TRACE]
+        diff = diff_traces(TRACE, slower)
+        assert diff.structural_drift is False
+        top = diff.deltas[0]
+        assert top.name == "work"
+        assert top.delta_ms == pytest.approx(7.0)
+        assert top.ratio == pytest.approx(2.0)
+
+    def test_structural_drift_names_counts_and_first_divergence(self):
+        extra = TRACE + [span(5, "surprise", 1, 0.5)]
+        diff = diff_traces(TRACE, extra)
+        assert diff.structural_drift is True
+        assert "span count 4 -> 5" in diff.drift_details
+        assert "surprise: 0 -> 1 calls" in diff.drift_details
+
+    def test_renamed_span_reports_the_diverging_record(self):
+        renamed = [dict(record) for record in TRACE]
+        renamed[1]["name"] = "work2"
+        diff = diff_traces(TRACE, renamed)
+        assert diff.structural_drift is True
+        assert any("first divergence at record 2" in d for d in diff.drift_details)
+        new_name = next(delta for delta in diff.deltas if delta.name == "work2")
+        assert new_name.count_a == 0 and new_name.ratio is None
+
+    def test_memory_attrs_do_not_cause_drift(self):
+        tracer = Tracer(memory=True)
+        with tracer.span("root"):
+            pass
+        plain = Tracer()
+        with plain.span("root"):
+            pass
+        diff = diff_traces(plain.records(), tracer.records())
+        assert diff.structural_drift is False
+
+
+class TestRender:
+    def test_top_table_lists_names_and_critical_path(self):
+        text = render_top(TRACE)
+        assert "4 spans, 3 names" in text
+        assert "work" in text and "critical path" in text
+        assert "mem kb" not in text  # no memory attribution in this trace
+
+    def test_top_grows_a_memory_column_when_present(self):
+        records = [span(1, "root", None, 1.0, **{MEMORY_ATTR: 3.0})]
+        assert "mem kb" in render_top(records)
+
+    def test_top_limit_truncates_rows(self):
+        text = render_top(TRACE, limit=1)
+        assert "inner" not in text.split("critical path")[0]
+
+    def test_flame_bars_scale_with_share(self):
+        text = render_flame(TRACE, width=10)
+        lines = text.splitlines()
+        assert lines[0].startswith("flame: 4 spans")
+        root_line = next(line for line in lines[1:] if " root " in line)
+        assert root_line.startswith("#" * 10)
+        inner_line = next(line for line in lines if "inner" in line)
+        assert inner_line.strip().startswith("##")
+
+    def test_flame_marks_sub_cell_spans_with_a_dot(self):
+        records = [span(1, "root", None, 100.0), span(2, "tiny", 1, 0.1)]
+        tiny_line = next(
+            line for line in render_flame(records, width=10).splitlines() if "tiny" in line
+        )
+        assert tiny_line.strip().startswith(".")
+
+    def test_empty_trace_renders(self):
+        assert "empty" in render_top([])
+        assert "empty" in render_flame([])
+        assert "empty" in render_critical_path([])
+
+    def test_diff_render_states_the_verdict(self):
+        clean = render_diff(diff_traces(TRACE, TRACE))
+        assert "structural drift: none (identical modulo durations)" in clean
+        drifted = render_diff(diff_traces(TRACE, TRACE[:3]))
+        assert "structural drift: YES" in drifted
+
+
+class TestRealTracer:
+    def test_profile_of_a_live_trace_is_consistent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            for _ in range(3):
+                with tracer.span("step"):
+                    pass
+        profiles = profile_trace(tracer.records())
+        by_name = {p.name: p for p in profiles}
+        assert by_name["step"].count == 3
+        total_self = sum(p.self_ms for p in profiles)
+        outer_ms = tracer.records()[0]["duration_ms"]
+        assert total_self == pytest.approx(outer_ms, abs=0.01)

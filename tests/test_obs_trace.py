@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.obs import (
+    MEMORY_ATTR,
     NULL_SPAN,
     NULL_TRACER,
     NullTracer,
@@ -15,6 +16,7 @@ from repro.obs import (
     load_trace,
     strip_durations,
     validate_trace,
+    write_records_jsonl,
 )
 from repro.obs.trace import SPAN_FIELDS
 
@@ -150,6 +152,108 @@ class TestValidation:
         stripped = strip_durations(records)
         assert "duration_ms" not in stripped[0]
         assert set(stripped[0]) == set(SPAN_FIELDS) - {"duration_ms"}
+
+    def test_empty_trace_is_valid_and_strips_to_empty(self):
+        assert validate_trace([]) == []
+        assert validate_trace([], strict_durations=True) == []
+        assert strip_durations([]) == []
+
+    def test_orphaned_parent_id_is_reported(self):
+        records = [self._valid(), self._valid(id=2, parent=99)]
+        errors = validate_trace(records)
+        assert any("parent 99" in error and "earlier span id" in error for error in errors)
+
+    def test_duplicate_span_ids_are_reported(self):
+        records = [self._valid(), self._valid()]
+        errors = validate_trace(records)
+        assert any("duplicate id 1" in error for error in errors)
+
+    def test_all_findings_reported_not_just_the_first(self):
+        records = [
+            self._valid(name=""),  # bad name
+            self._valid(id=2, duration_ms=-1.0),  # bad duration
+            self._valid(id=2, parent=50),  # duplicate id AND orphan parent
+        ]
+        errors = validate_trace(records)
+        assert len(errors) >= 4
+        assert any("non-empty string" in error for error in errors)
+        assert any("non-negative" in error for error in errors)
+        assert any("duplicate id" in error for error in errors)
+        assert any("earlier span id" in error for error in errors)
+
+
+class TestStrictDurations:
+    def _tree(self, parent_ms, child_ms):
+        return [
+            {"attrs": {}, "duration_ms": parent_ms, "id": 1, "name": "p", "parent": None},
+            {"attrs": {}, "duration_ms": child_ms, "id": 2, "name": "c", "parent": 1},
+        ]
+
+    def test_real_traces_pass_strict_mode(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            for _ in range(3):
+                with tracer.span("leaf"):
+                    pass
+        assert validate_trace(tracer.records(), strict_durations=True) == []
+
+    def test_children_outlasting_parent_rejected_only_in_strict_mode(self):
+        records = self._tree(1.0, 5.0)
+        assert validate_trace(records) == []
+        errors = validate_trace(records, strict_durations=True)
+        assert len(errors) == 1
+        assert "non-monotonic" in errors[0] and "span id 1" in errors[0]
+
+    def test_rounding_slack_is_tolerated(self):
+        # Two children whose rounded sum exceeds the parent by half an
+        # ulp each — exporter rounding, not clock trouble.
+        records = self._tree(1.0, 0.5) + [
+            {"attrs": {}, "duration_ms": 0.5001, "id": 3, "name": "c2", "parent": 1}
+        ]
+        assert validate_trace(records, strict_durations=True) == []
+
+
+class TestMemoryMode:
+    def test_memory_tracer_stamps_the_delta_attr(self):
+        tracer = Tracer(memory=True)
+        with tracer.span("alloc"):
+            blob = list(range(50_000))
+        del blob
+        record = tracer.records()[0]
+        assert MEMORY_ATTR in record["attrs"]
+        assert isinstance(record["attrs"][MEMORY_ATTR], float)
+        assert record["attrs"][MEMORY_ATTR] > 0  # the list was live at span exit
+
+    def test_default_tracer_does_not_stamp_memory(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        assert MEMORY_ATTR not in tracer.records()[0]["attrs"]
+
+    def test_strip_durations_removes_the_memory_attr(self):
+        tracer = Tracer(memory=True)
+        with tracer.span("s", keep="me"):
+            pass
+        records = tracer.records()
+        assert validate_trace(records) == []
+        stripped = strip_durations(records)
+        assert MEMORY_ATTR not in stripped[0]["attrs"]
+        assert stripped[0]["attrs"]["keep"] == "me"
+        # The original records are untouched (projection, not mutation).
+        assert MEMORY_ATTR in records[0]["attrs"]
+
+
+class TestWriteRecordsJsonl:
+    def test_round_trips_loaded_records(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root", seed=1):
+            with tracer.span("leaf"):
+                pass
+        records = tracer.records()
+        path = tmp_path / "copy.jsonl"
+        assert write_records_jsonl(records, path) == 2
+        assert load_trace(path) == records
+        assert path.read_text(encoding="utf-8") == tracer.to_jsonl()
 
 
 class TestNullPath:
